@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures: the full evaluation campaign, run once.
+
+The paper's evaluation (Section 5) runs four experiments — the
+native-method compiler plus three byte-code compilers — on two ISAs.
+The ``campaign`` fixture executes the whole thing once per pytest
+session (~1-2 minutes) and every table/figure benchmark renders its
+artifact from the cached results, writing them under
+``benchmarks/results/``.
+
+Scale control: set ``REPRO_BENCH_SCALE=small`` to restrict the campaign
+to a subset of instructions (useful on slow machines); the default is
+the full instruction set.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.difftest.runner import CampaignConfig, run_campaign
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def campaign_config() -> CampaignConfig:
+    if os.environ.get("REPRO_BENCH_SCALE") == "small":
+        return CampaignConfig(max_bytecodes=40, max_natives=30)
+    return CampaignConfig()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """All four compiler reports (paper Table 2 rows), fully executed."""
+    reports = run_campaign(campaign_config())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return reports
+
+
+@pytest.fixture(scope="session")
+def explorations(campaign):
+    """Unique concolic explorations, one per instruction."""
+    seen = {}
+    for report in campaign:
+        for result in report.results:
+            seen[(result.kind, result.instruction)] = result.exploration
+    return list(seen.values())
+
+
+def write_artifact(name: str, content: str) -> None:
+    """Persist a rendered table/figure and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(content + "\n")
+    print(f"\n----- {name} " + "-" * max(0, 60 - len(name)))
+    print(content)

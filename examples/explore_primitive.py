@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Explore native methods concolically and inspect their path structure.
+
+Native methods (primitives) are *safe by design*: they check every
+operand and fail with a failure code otherwise.  That safety shows up
+as rich path structure — the paper's Fig. 5 observes that native
+methods average ~10 paths where byte-codes average ~2.
+
+This example explores a handful of primitives of increasing complexity
+and prints their paths, exit-condition mix and exploration statistics.
+
+Run:  python examples/explore_primitive.py [primitiveName ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import explore_native_method, primitive_named
+from repro.interpreter.exits import ExitCondition
+
+DEFAULT_SELECTION = (
+    "primitiveAdd",  # types + overflow in both directions
+    "primitiveAt",  # formats + bounds + raw-word range
+    "primitiveNew",  # Behavior shape + class-table range
+    "primitiveFFIReadInt16",  # alignment + bounds + field widths
+    "primitiveAsFloat",  # the famous missing-check primitive
+)
+
+
+def explore_one(name: str) -> None:
+    native = primitive_named(name)
+    result = explore_native_method(native)
+    exits = result.exits()
+    print("=" * 72)
+    print(
+        f"{name} (index {native.index}, {native.argument_count} args, "
+        f"category {native.category!r})"
+    )
+    print(
+        f"  {result.path_count} paths / {result.iterations} iterations / "
+        f"{result.unsat_prefixes} unsat prefixes / "
+        f"{result.elapsed_seconds * 1000:.0f} ms"
+    )
+    print(
+        "  exit mix: "
+        + ", ".join(f"{cond.value}={count}" for cond, count in sorted(
+            exits.items(), key=lambda item: item[0].value
+        ))
+    )
+    for index, path in enumerate(result.paths, 1):
+        marker = "!" if path.exit.condition == ExitCondition.FAILURE else " "
+        detail = f" [{path.exit.detail}]" if path.exit.detail else ""
+        print(f"  {marker} #{index:<2d} {path.exit.condition.value}{detail}")
+        print(f"       inputs: {path.model.describe() or '(defaults)'}")
+    print()
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(DEFAULT_SELECTION)
+    for name in names:
+        try:
+            explore_one(name)
+        except KeyError:
+            print(f"unknown primitive: {name}", file=sys.stderr)
+            raise SystemExit(1)
+    print(
+        "Note how every operand check contributes failure paths — this is\n"
+        "exactly the path structure the differential tester feeds to the\n"
+        "JIT compilers."
+    )
+
+
+if __name__ == "__main__":
+    main()

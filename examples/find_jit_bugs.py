@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A focused bug-hunting campaign: find the VM's defect corpus blindly.
+
+This is the paper's evaluation in miniature: a selection of byte-codes
+and native methods is explored concolically and tested differentially
+against all four compilers; every discovered difference is classified
+into the paper's six defect families (Table 3) with no prior knowledge
+of where the defects are.
+
+Run:  python examples/find_jit_bugs.py            # defect-rich subset
+      python examples/find_jit_bugs.py --full     # every instruction
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    BytecodeInstructionSpec,
+    CampaignConfig,
+    NativeMethodCompiler,
+    NativeMethodSpec,
+    RegisterAllocatingCogit,
+    SimpleStackBasedCogit,
+    StackToRegisterCogit,
+    bytecode_named,
+    group_causes,
+    primitive_named,
+    test_instruction,
+    testable_bytecodes,
+    testable_primitives,
+)
+from repro.difftest.runner import explore_instruction
+from repro.jit.machine.x86 import X86Backend
+
+#: A subset that covers every defect family quickly.
+INTERESTING_BYTECODES = (
+    "bytecodePrimAdd", "bytecodePrimSubtract", "bytecodePrimMultiply",
+    "bytecodePrimDivide", "bytecodePrimLessThan", "bytecodePrimEqual",
+    "sendIsNil", "pushTrue", "duplicateTop",
+)
+INTERESTING_NATIVES = (
+    "primitiveAsFloat", "primitiveFloatAdd", "primitiveFloatLessThan",
+    "primitiveFloatTruncated", "primitiveBitAnd", "primitiveBitShift",
+    "primitiveMod", "primitiveFFIReadInt32", "primitiveFFIWriteFloat64",
+    "primitiveAdd", "primitiveAt",
+)
+
+
+def gather_specs(full: bool):
+    if full:
+        bytecode_specs = [BytecodeInstructionSpec(b) for b in testable_bytecodes()]
+        native_specs = [NativeMethodSpec(n) for n in testable_primitives()]
+    else:
+        bytecode_specs = [
+            BytecodeInstructionSpec(bytecode_named(name))
+            for name in INTERESTING_BYTECODES
+        ]
+        native_specs = [
+            NativeMethodSpec(primitive_named(name))
+            for name in INTERESTING_NATIVES
+        ]
+    return bytecode_specs, native_specs
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    config = CampaignConfig(backends=(X86Backend,))
+    bytecode_specs, native_specs = gather_specs(full)
+
+    start = time.perf_counter()
+    comparisons = []
+    total_paths = 0
+    print("hunting for differences", end="", flush=True)
+    for spec in native_specs:
+        exploration = explore_instruction(spec, config)
+        total_paths += exploration.path_count
+        result = test_instruction(spec, NativeMethodCompiler, config, exploration)
+        comparisons.extend(result.comparisons)
+        print(".", end="", flush=True)
+    for spec in bytecode_specs:
+        exploration = explore_instruction(spec, config)
+        total_paths += exploration.path_count
+        for compiler in (SimpleStackBasedCogit, StackToRegisterCogit,
+                         RegisterAllocatingCogit):
+            result = test_instruction(spec, compiler, config, exploration)
+            comparisons.extend(result.comparisons)
+        print(".", end="", flush=True)
+    elapsed = time.perf_counter() - start
+
+    differences = [c for c in comparisons if c.is_difference]
+    print(
+        f"\n\nexplored {total_paths} paths over "
+        f"{len(native_specs) + len(bytecode_specs)} instructions, ran "
+        f"{len(comparisons)} differential executions in {elapsed:.1f}s"
+    )
+    print(f"found {len(differences)} differing executions\n")
+
+    causes = group_causes(comparisons)
+    print(f"grouped into {len(causes)} distinct root causes:\n")
+    by_category: dict = {}
+    for defect, results in causes.items():
+        by_category.setdefault(defect.category, []).append((defect, results))
+    for category in sorted(by_category, key=lambda c: c.value):
+        entries = by_category[category]
+        print(f"[{category.value}] — {len(entries)} cause(s)")
+        for defect, results in sorted(entries, key=lambda e: e[0].cause):
+            sample = results[0]
+            print(f"    {defect.cause}  ({len(results)} executions)")
+            print(f"        e.g. {sample.detail[:90]}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

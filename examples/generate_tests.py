@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Generate a persistent differential unit-test suite.
+
+The paper's headline artifact: "our approach generated in less than 10
+minutes more than 4.5K tests" that are unitary, fast and reproducible.
+This example renders concolically discovered paths into standalone
+pytest modules under ``generated_tests/`` — runnable with plain pytest,
+with known interpreter/compiler differences emitted as strict xfails
+(the bug reports).
+
+Run:  python examples/generate_tests.py [output_dir]
+      pytest generated_tests/ -q
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BytecodeInstructionSpec,
+    NativeMethodCompiler,
+    NativeMethodSpec,
+    SimpleStackBasedCogit,
+    StackToRegisterCogit,
+    bytecode_named,
+    primitive_named,
+)
+from repro.difftest.testgen import write_test_suite
+
+BYTECODES = ("bytecodePrimAdd", "bytecodePrimLessThan", "shortJumpIfTrue3",
+             "duplicateTop", "returnTop")
+NATIVES = ("primitiveAdd", "primitiveAsFloat", "primitiveBitAnd",
+           "primitiveAt", "primitiveFloatAdd")
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "generated_tests"
+    suites = write_test_suite(
+        output,
+        [BytecodeInstructionSpec(bytecode_named(name)) for name in BYTECODES],
+        [SimpleStackBasedCogit, StackToRegisterCogit],
+    )
+    suites += write_test_suite(
+        output,
+        [NativeMethodSpec(primitive_named(name)) for name in NATIVES],
+        [NativeMethodCompiler],
+    )
+    total = sum(s.test_count for s in suites)
+    xfails = sum(s.xfail_count for s in suites)
+    print(f"generated {len(suites)} modules / {total} tests "
+          f"({xfails} known-difference xfails) into {output}/")
+    for suite in suites:
+        print(f"  {suite.instruction:28s} x {suite.compiler:24s} "
+              f"{suite.test_count:3d} tests, {suite.xfail_count} xfail")
+    print(f"\nrun them with:  pytest {output}/ -q")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""The VM substrate as a standalone system: write and run programs.
+
+The reproduction's object memory + interpreter is a complete little
+Smalltalk-style VM.  This example builds methods out of byte-codes,
+installs them in the method dictionary, and runs real programs with
+message sends, primitive methods with byte-code fallbacks, loops, and
+heap objects — no concolic machinery involved.
+
+Run:  python examples/vm_playground.py
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.assembler import assemble
+from repro.bytecode.methods import MethodBuilder, SymbolTable
+from repro.interpreter.frame import Frame
+from repro.interpreter.interpreter import Interpreter
+from repro.memory.bootstrap import bootstrap_memory
+
+
+def build(vm, instructions, *, args=0, temps=None, literals=(), primitive=0):
+    memory, symbols = vm
+    builder = MethodBuilder(memory, symbols).args(args)
+    builder.temps(temps if temps is not None else args)
+    if primitive:
+        builder.primitive(primitive)
+    for literal in literals:
+        builder.literal(symbols.intern(literal) if isinstance(literal, str)
+                        else literal)
+    for byte in assemble(instructions):
+        builder.emit(byte)
+    return builder.build()
+
+
+def demo_factorial(memory, symbols, interpreter) -> None:
+    """factorial: n <= 1 ifTrue: [^1] ifFalse: [^n * (self factorial: n-1)]"""
+    vm = (memory, symbols)
+    factorial = build(
+        vm,
+        [
+            "pushTemporaryVariable0",       # n
+            "pushOne",
+            "bytecodePrimLessOrEqual",
+            "shortJumpIfFalse0",            # skip the return when n > 1
+            "returnTrue",                   # placeholder, replaced below
+            "pushTemporaryVariable0",       # n
+            "pushReceiver",
+            "pushTemporaryVariable0",
+            "pushOne",
+            "bytecodePrimSubtract",         # n - 1
+            "sendLiteralSelector1Arg0",     # self factorial: n-1
+            "bytecodePrimMultiply",         # n * ...
+            "returnTop",
+        ],
+        args=1,
+        literals=["factorial:"],
+    )
+    # Patch the placeholder: return the SmallInteger 1, not true.
+    code = bytearray(factorial.bytecodes)
+    code[4:5] = assemble(["pushOne", "returnTop"])[:1]  # pushOne
+    # simpler: rebuild with the correct sequence
+    factorial = build(
+        vm,
+        [
+            "pushTemporaryVariable0",
+            "pushOne",
+            "bytecodePrimLessOrEqual",
+            "shortJumpIfFalse1",            # jump over pushOne/returnTop
+            "pushOne",
+            "returnTop",
+            "pushTemporaryVariable0",
+            "pushReceiver",
+            "pushTemporaryVariable0",
+            "pushOne",
+            "bytecodePrimSubtract",
+            "sendLiteralSelector1Arg0",
+            "bytecodePrimMultiply",
+            "returnTop",
+        ],
+        args=1,
+        literals=["factorial:"],
+    )
+    small_int = memory.small_integer_class_index
+    interpreter.install_method(small_int, "factorial:", factorial)
+
+    main = build(
+        vm,
+        ["pushLiteralConstant1", "pushLiteralConstant1",
+         "sendLiteralSelector1Arg0", "returnTop"],
+        literals=["factorial:", memory.integer_object_of(10)],
+    )
+    result = interpreter.run(Frame(memory.nil_object, main))
+    print(f"10 factorial = {memory.integer_value_of(result)}")
+    assert memory.integer_value_of(result) == 3628800
+
+
+def demo_primitive_with_fallback(memory, symbols, interpreter) -> None:
+    """#+ as a primitive method whose byte-code body handles failure."""
+    vm = (memory, symbols)
+    # primitive 1 = primitiveAdd; the body answers -1 when it fails.
+    plus = build(vm, ["pushMinusOne", "returnTop"], args=1, primitive=1)
+    interpreter.install_method(memory.small_integer_class_index, "plus:", plus)
+
+    def send_plus(a_oop, b_oop):
+        main = build(
+            vm,
+            ["pushLiteralConstant1", "pushLiteralConstant2",
+             "sendLiteralSelector1Arg0", "returnTop"],
+            literals=["plus:", a_oop, b_oop],
+        )
+        return interpreter.run(Frame(memory.nil_object, main))
+
+    ok = send_plus(memory.integer_object_of(20), memory.integer_object_of(22))
+    print(f"20 plus: 22 = {memory.integer_value_of(ok)} (primitive succeeded)")
+    fallback = send_plus(memory.integer_object_of(20), memory.nil_object)
+    print(
+        f"20 plus: nil = {memory.integer_value_of(fallback)} "
+        "(primitive failed, byte-code fallback ran)"
+    )
+
+
+def demo_heap_objects(memory, symbols, interpreter) -> None:
+    """Sum an Array's elements with a loop over at:-style primitives."""
+    vm = (memory, symbols)
+    values = [3, 14, 15, 92, 65]
+    array = memory.new_array([memory.integer_object_of(v) for v in values])
+    # at: backed by primitive 60 (no fallback needed for valid indices).
+    at_method = build(vm, ["returnNil"], args=1, primitive=60)
+    size_method = build(vm, ["returnNil"], args=0, primitive=62)
+    array_class = memory.array_class_index
+    interpreter.install_method(array_class, "at:", at_method)
+    interpreter.install_method(array_class, "size", size_method)
+
+    # | sum i | sum := 0. i := 1.
+    # [i <= self size] whileTrue: [sum := sum + (self at: i). i := i + 1].
+    # ^sum          (receiver = the array)
+    summer = build(
+        vm,
+        [
+            "pushZero", "popIntoTemporaryVariable0",   # sum := 0
+            "pushOne", "popIntoTemporaryVariable1",    # i := 1
+            # loop header (pc 4)
+            "pushTemporaryVariable1",
+            "pushReceiver", "sendLiteralSelector0Args1",   # self size
+            "bytecodePrimLessOrEqual",
+            ("longJumpIfFalse", 12),                   # exit to pc 22
+            "pushTemporaryVariable0",
+            "pushReceiver", "pushTemporaryVariable1",
+            "sendLiteralSelector1Arg0",                # self at: i
+            "bytecodePrimAdd",
+            "popIntoTemporaryVariable0",               # sum := ...
+            "pushTemporaryVariable1", "pushOne", "bytecodePrimAdd",
+            "popIntoTemporaryVariable1",               # i := i + 1
+            ("longJump", -18),                         # back to pc 4
+            "pushTemporaryVariable0",                  # pc 22
+            "returnTop",
+        ],
+        temps=2,
+        literals=["at:", "size"],
+    )
+    interpreter.install_method(array_class, "sumElements", summer)
+    main = build(
+        vm,
+        ["pushLiteralConstant1", "sendLiteralSelector0Args0", "returnTop"],
+        literals=["sumElements", array],
+    )
+    result = interpreter.run(Frame(memory.nil_object, main))
+    print(f"sum of {values} = {memory.integer_value_of(result)}")
+    assert memory.integer_value_of(result) == sum(values)
+
+
+def main() -> None:
+    memory, known = bootstrap_memory()
+    symbols = SymbolTable(memory)
+    interpreter = Interpreter(memory, symbols)
+    demo_factorial(memory, symbols, interpreter)
+    demo_primitive_with_fallback(memory, symbols, interpreter)
+    demo_heap_objects(memory, symbols, interpreter)
+    print("\nall playground programs behaved as expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim: enables editable installs without the wheel package.
+
+The offline environment has setuptools but not wheel, so PEP 660 editable
+installs fail; ``pip install -e . --no-use-pep517`` goes through this file.
+"""
+
+from setuptools import setup
+
+setup()

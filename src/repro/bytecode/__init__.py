@@ -1,0 +1,37 @@
+"""Byte-code instruction set, compiled methods, assembler/disassembler.
+
+The set mirrors the structure of the Pharo/Sista byte-code the paper
+targets: a modest number of *families* (push temp, push literal, send,
+jump, arithmetic with static type prediction, ...) expanded into many
+single-byte *encodings* via embedded indices.  The paper tests 175
+byte-code instructions from 77 families; this reproduction expands ~35
+families into 180+ encodings.
+"""
+
+from repro.bytecode.opcodes import (
+    Bytecode,
+    BytecodeFamily,
+    BYTECODE_TABLE,
+    FAMILIES,
+    bytecode_named,
+    bytecodes_in_family,
+    testable_bytecodes,
+)
+from repro.bytecode.methods import CompiledMethod, MethodBuilder, method_to_heap
+from repro.bytecode.assembler import assemble
+from repro.bytecode.disassembler import disassemble
+
+__all__ = [
+    "Bytecode",
+    "BytecodeFamily",
+    "BYTECODE_TABLE",
+    "FAMILIES",
+    "bytecode_named",
+    "bytecodes_in_family",
+    "testable_bytecodes",
+    "CompiledMethod",
+    "MethodBuilder",
+    "method_to_heap",
+    "assemble",
+    "disassemble",
+]

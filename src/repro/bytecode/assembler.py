@@ -1,0 +1,50 @@
+"""Tiny symbolic assembler for byte-code sequences.
+
+Accepts a list of mnemonics — strings like ``"pushTemporaryVariable3"``
+or tuples like ``("longJump", displacement)`` for encodings with operand
+bytes — and produces the byte string.  Used by tests, examples, and the
+differential tester when synthesizing instruction-under-test methods.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import BytecodeError
+from repro.bytecode.opcodes import Bytecode, bytecode_named
+
+Insn = Union[str, tuple]
+
+
+def assemble(instructions: Iterable[Insn]) -> bytes:
+    """Assemble mnemonics into byte-code bytes."""
+    code = bytearray()
+    for instruction in instructions:
+        if isinstance(instruction, str):
+            name, operands = instruction, ()
+        else:
+            name, *operands = instruction
+        bytecode = bytecode_named(name)
+        code.append(bytecode.opcode)
+        code.extend(_encode_operands(bytecode, operands))
+    return bytes(code)
+
+
+def _encode_operands(bytecode: Bytecode, operands: tuple) -> bytes:
+    expected = bytecode.family.operand_bytes
+    if expected == 0:
+        if operands:
+            raise BytecodeError(f"{bytecode.name} takes no operands")
+        return b""
+    if len(operands) != 1:
+        raise BytecodeError(f"{bytecode.name} takes exactly one operand")
+    value = int(operands[0])
+    if expected == 1:
+        if not -128 <= value <= 255:
+            raise BytecodeError(f"operand out of byte range: {value}")
+        return bytes([value & 0xFF])
+    if expected == 2:
+        if not 0 <= value <= 0xFFFF:
+            raise BytecodeError(f"operand out of 16-bit range: {value}")
+        return bytes([value & 0xFF, (value >> 8) & 0xFF])
+    raise BytecodeError(f"unsupported operand width: {expected}")

@@ -1,0 +1,49 @@
+"""Byte-code disassembler: bytes -> (pc, mnemonic, operands) triples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BytecodeError
+from repro.bytecode.opcodes import BYTECODE_TABLE, Bytecode
+
+
+@dataclass(frozen=True)
+class DisassembledInstruction:
+    pc: int
+    bytecode: Bytecode
+    operands: tuple[int, ...]
+
+    @property
+    def mnemonic(self) -> str:
+        if self.operands:
+            args = ", ".join(str(op) for op in self.operands)
+            return f"{self.bytecode.name}({args})"
+        return self.bytecode.name
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.pc:4d}: {self.mnemonic}"
+
+
+def disassemble(code: bytes) -> list[DisassembledInstruction]:
+    """Decode a byte-code sequence; raises on unknown or truncated code."""
+    instructions: list[DisassembledInstruction] = []
+    pc = 0
+    while pc < len(code):
+        opcode = code[pc]
+        bytecode = BYTECODE_TABLE.get(opcode)
+        if bytecode is None:
+            raise BytecodeError(f"unknown opcode {opcode:#04x} at pc {pc}")
+        width = bytecode.family.operand_bytes
+        if pc + 1 + width > len(code):
+            raise BytecodeError(f"truncated operands for {bytecode.name} at pc {pc}")
+        raw = code[pc + 1 : pc + 1 + width]
+        if width == 2:
+            operands: tuple[int, ...] = (raw[0] | (raw[1] << 8),)
+        elif width == 1:
+            operands = (raw[0],)
+        else:
+            operands = ()
+        instructions.append(DisassembledInstruction(pc, bytecode, operands))
+        pc += bytecode.size
+    return instructions

@@ -1,0 +1,165 @@
+"""Compiled methods: model, header encoding, heap representation.
+
+A compiled method is the unit of compilation for the JIT ("the granularity
+of compiled code is the method", paper Section 4.2).  The Python-side
+:class:`CompiledMethod` is the convenient view used by the interpreter and
+the compiler front-ends; :func:`method_to_heap` gives the method a real
+heap identity whose literal slots live in object memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BytecodeError
+from repro.memory.object_memory import ObjectMemory
+
+
+@dataclass
+class CompiledMethod:
+    """A method: header fields, literal oops, byte-code bytes."""
+
+    num_args: int = 0
+    num_temps: int = 0
+    #: Index of a native method preamble, or 0 for plain methods.
+    primitive_index: int = 0
+    #: Literal oops (already allocated in object memory).
+    literals: list[int] = field(default_factory=list)
+    bytecodes: bytes = b""
+    #: Heap oop once materialized, 0 before.
+    oop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_temps < self.num_args:
+            raise BytecodeError("num_temps includes arguments and cannot be smaller")
+
+    @property
+    def header_value(self) -> int:
+        """Pack the header fields into one tagged-able integer."""
+        return (
+            (self.num_args & 0xF)
+            | ((self.num_temps & 0x3F) << 4)
+            | ((len(self.literals) & 0xFF) << 10)
+            | ((self.primitive_index & 0x3FF) << 18)
+        )
+
+    @classmethod
+    def header_fields(cls, header: int) -> tuple[int, int, int, int]:
+        """Unpack (num_args, num_temps, num_literals, primitive_index)."""
+        return (
+            header & 0xF,
+            (header >> 4) & 0x3F,
+            (header >> 10) & 0xFF,
+            (header >> 18) & 0x3FF,
+        )
+
+    def literal_at(self, index: int) -> int:
+        if not 0 <= index < len(self.literals):
+            raise BytecodeError(f"literal index out of range: {index}")
+        return self.literals[index]
+
+
+class SymbolTable:
+    """Interns selector symbols as heap objects, with reverse lookup.
+
+    Selectors flow through literals (oops) into send instructions; the
+    differential tester maps a send-exit's selector oop back to its name
+    when comparing interpreter and compiled behaviour.
+    """
+
+    def __init__(self, memory: ObjectMemory) -> None:
+        self._memory = memory
+        self._symbol_class = memory.class_table.named("ByteSymbol")
+        self._by_name: dict[str, int] = {}
+        self._by_oop: dict[int, str] = {}
+
+    def intern(self, name: str) -> int:
+        oop = self._by_name.get(name)
+        if oop is None:
+            data = name.encode("ascii")
+            oop = self._memory.instantiate(self._symbol_class, len(data))
+            for index, byte in enumerate(data):
+                self._memory.store_pointer(index, oop, byte)
+            self._by_name[name] = oop
+            self._by_oop[oop] = name
+        return oop
+
+    def name_of(self, oop: int) -> str | None:
+        return self._by_oop.get(oop)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+
+class MethodBuilder:
+    """Fluent construction of compiled methods against an object memory."""
+
+    def __init__(self, memory: ObjectMemory, symbols: SymbolTable | None = None):
+        self._memory = memory
+        self.symbols = symbols or SymbolTable(memory)
+        self._num_args = 0
+        self._num_temps = 0
+        self._primitive_index = 0
+        self._literals: list[int] = []
+        self._code = bytearray()
+
+    def args(self, count: int) -> "MethodBuilder":
+        self._num_args = count
+        self._num_temps = max(self._num_temps, count)
+        return self
+
+    def temps(self, count: int) -> "MethodBuilder":
+        """Total temp count, arguments included."""
+        self._num_temps = count
+        return self
+
+    def primitive(self, index: int) -> "MethodBuilder":
+        self._primitive_index = index
+        return self
+
+    def literal(self, oop: int) -> int:
+        """Append a literal oop, returning its literal index."""
+        self._literals.append(oop)
+        return len(self._literals) - 1
+
+    def selector_literal(self, name: str) -> int:
+        """Intern *name* and append it as a literal."""
+        return self.literal(self.symbols.intern(name))
+
+    def emit(self, *code: int) -> "MethodBuilder":
+        for byte in code:
+            if not 0 <= byte <= 0xFF:
+                raise BytecodeError(f"byte out of range: {byte}")
+            self._code.append(byte)
+        return self
+
+    def build(self) -> CompiledMethod:
+        method = CompiledMethod(
+            num_args=self._num_args,
+            num_temps=self._num_temps,
+            primitive_index=self._primitive_index,
+            literals=list(self._literals),
+            bytecodes=bytes(self._code),
+        )
+        method.oop = method_to_heap(self._memory, method)
+        return method
+
+
+def method_to_heap(memory: ObjectMemory, method: CompiledMethod) -> int:
+    """Materialize *method* in object memory and return its oop.
+
+    Layout (slot indices): 0 = tagged header, 1..N = literal oops,
+    then one byte-code byte per word (a documented simplification — the
+    interpreter and JIT read byte-codes through the Python-side view, but
+    literal slots are honest heap words the compiled code can reference).
+    """
+    cls = memory.class_table.named("CompiledMethod")
+    total = 1 + len(method.literals) + len(method.bytecodes)
+    oop = memory.instantiate(cls, indexable_size=total)
+    memory.store_pointer(0, oop, memory.integer_object_of(method.header_value))
+    for index, literal in enumerate(method.literals):
+        memory.store_pointer(1 + index, oop, literal)
+    offset = 1 + len(method.literals)
+    for index, byte in enumerate(method.bytecodes):
+        memory.store_pointer(offset + index, oop, byte)
+    return oop

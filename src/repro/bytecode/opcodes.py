@@ -1,0 +1,359 @@
+"""The byte-code table: families expanded into single-byte encodings.
+
+Layout of the 8-bit opcode space (one byte per instruction, with a few
+families taking one trailing operand byte):
+
+==============  =============================  =====  ==========
+opcode range    family                         count  operands
+==============  =============================  =====  ==========
+0x00-0x0F       pushReceiverVariable k         16     none
+0x10-0x1F       pushTemporaryVariable k        16     none
+0x20-0x2F       pushLiteralConstant k          16     none
+0x30            pushReceiver                   1      none
+0x31-0x37       pushSpecialConstant            7      none
+0x38            duplicateTop                   1      none
+0x39            popStackTop                    1      none
+0x3A-0x41       storeTemporaryVariable k       8      none
+0x42-0x49       storeReceiverVariable k        8      none
+0x4A-0x51       popIntoTemporaryVariable k     8      none
+0x52-0x59       popIntoReceiverVariable k      8      none
+0x5A-0x5E       return family                  5      none
+0x5F            nop                            1      none
+0x60-0x67       shortJump k+1                  8      none
+0x68-0x6F       shortJumpIfTrue k+1            8      none
+0x70-0x77       shortJumpIfFalse k+1           8      none
+0x78-0x7A       long jumps                     3      1 byte
+0x80-0x90       arithmetic special selectors   17     none
+0x91-0x97       common-selector sends          7      none
+0xA0-0xAF       sendLiteralSelector k, 0 args  16     none
+0xB0-0xBF       sendLiteralSelector k, 1 arg   16     16
+0xC0-0xC7       sendLiteralSelector k, 2 args  8      none
+0xC8            callPrimitive                  1      2 bytes
+0xC9            pushThisContext                1      none
+==============  =============================  =====  ==========
+
+``pushThisContext`` is defined but excluded from the testable set: the
+paper's prototype does not support stack-frame reification (Section 4.3)
+and neither does this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BytecodeError
+
+
+@dataclass(frozen=True)
+class BytecodeFamily:
+    """A group of encodings sharing one handler, parameterized by index."""
+
+    name: str
+    first_opcode: int
+    count: int
+    #: Number of trailing operand bytes each encoding consumes.
+    operand_bytes: int = 0
+    #: Net change of operand-stack depth on the success path
+    #: (None when it depends on operands, e.g. sends).
+    stack_effect: int | None = 0
+    #: Minimum operand-stack depth required on entry.
+    min_stack: int = 0
+    #: False for instructions the testing prototype curates out.
+    testable: bool = True
+    #: Human-readable note on semantics.
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class Bytecode:
+    """One concrete encoding: an opcode byte within a family."""
+
+    opcode: int
+    family: BytecodeFamily
+    #: Index embedded in the opcode (opcode - family.first_opcode).
+    embedded_index: int
+
+    @property
+    def name(self) -> str:
+        if self.family.count == 1:
+            return self.family.name
+        return f"{self.family.name}{self.embedded_index}"
+
+    @property
+    def size(self) -> int:
+        """Total instruction size in bytes, including operands."""
+        return 1 + self.family.operand_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} {self.opcode:#04x}>"
+
+
+#: Names of the seven push-special-constant encodings, in opcode order.
+SPECIAL_CONSTANT_NAMES = ("True", "False", "Nil", "Zero", "One", "MinusOne", "Two")
+
+#: Selector and argument count for the arithmetic special-selector
+#: bytecodes (static type prediction families, paper Listing 1).
+ARITHMETIC_SELECTORS = (
+    ("+", 1),
+    ("-", 1),
+    ("*", 1),
+    ("/", 1),
+    ("\\\\", 1),
+    ("//", 1),
+    ("<", 1),
+    (">", 1),
+    ("<=", 1),
+    (">=", 1),
+    ("=", 1),
+    ("~=", 1),
+    ("==", 1),
+    ("bitAnd:", 1),
+    ("bitOr:", 1),
+    ("bitXor:", 1),
+    ("bitShift:", 1),
+)
+
+#: Selector and argument count of the common-selector send bytecodes.
+COMMON_SELECTORS = (
+    ("at:", 1),
+    ("at:put:", 2),
+    ("size", 0),
+    ("class", 0),
+    ("value", 0),
+    ("new", 0),
+    ("isNil", 0),
+)
+
+
+def _build_families() -> list[BytecodeFamily]:
+    families: list[BytecodeFamily] = [
+        BytecodeFamily(
+            "pushReceiverVariable", 0x00, 16, stack_effect=1,
+            doc="Push the receiver's k-th instance variable (unsafe).",
+        ),
+        BytecodeFamily(
+            "pushTemporaryVariable", 0x10, 16, stack_effect=1,
+            doc="Push the frame's k-th temporary/argument (unsafe).",
+        ),
+        BytecodeFamily(
+            "pushLiteralConstant", 0x20, 16, stack_effect=1,
+            doc="Push the method's k-th literal.",
+        ),
+        BytecodeFamily(
+            "pushReceiver", 0x30, 1, stack_effect=1, doc="Push self."
+        ),
+    ]
+    for offset, constant in enumerate(SPECIAL_CONSTANT_NAMES):
+        families.append(
+            BytecodeFamily(
+                f"push{constant}", 0x31 + offset, 1, stack_effect=1,
+                doc=f"Push the constant {constant}.",
+            )
+        )
+    families += [
+        BytecodeFamily(
+            "duplicateTop", 0x38, 1, stack_effect=1, min_stack=1,
+            doc="Duplicate the operand stack top (unsafe).",
+        ),
+        BytecodeFamily(
+            "popStackTop", 0x39, 1, stack_effect=-1, min_stack=1,
+            doc="Drop the operand stack top (unsafe).",
+        ),
+        BytecodeFamily(
+            "storeTemporaryVariable", 0x3A, 8, stack_effect=0, min_stack=1,
+            doc="Store stack top into temp k without popping (unsafe).",
+        ),
+        BytecodeFamily(
+            "storeReceiverVariable", 0x42, 8, stack_effect=0, min_stack=1,
+            doc="Store stack top into the receiver's slot k (unsafe).",
+        ),
+        BytecodeFamily(
+            "popIntoTemporaryVariable", 0x4A, 8, stack_effect=-1, min_stack=1,
+            doc="Pop stack top into temp k (unsafe).",
+        ),
+        BytecodeFamily(
+            "popIntoReceiverVariable", 0x52, 8, stack_effect=-1, min_stack=1,
+            doc="Pop stack top into the receiver's slot k (unsafe).",
+        ),
+        BytecodeFamily(
+            "returnTop", 0x5A, 1, stack_effect=None, min_stack=1,
+            doc="Return the stack top to the caller.",
+        ),
+        BytecodeFamily("returnReceiver", 0x5B, 1, stack_effect=None,
+                       doc="Return self to the caller."),
+        BytecodeFamily("returnNil", 0x5C, 1, stack_effect=None,
+                       doc="Return nil to the caller."),
+        BytecodeFamily("returnTrue", 0x5D, 1, stack_effect=None,
+                       doc="Return true to the caller."),
+        BytecodeFamily("returnFalse", 0x5E, 1, stack_effect=None,
+                       doc="Return false to the caller."),
+        BytecodeFamily("nop", 0x5F, 1, doc="Do nothing."),
+        BytecodeFamily(
+            "shortJump", 0x60, 8, stack_effect=0,
+            doc="Jump forward k+1 bytes unconditionally.",
+        ),
+        BytecodeFamily(
+            "shortJumpIfTrue", 0x68, 8, stack_effect=-1, min_stack=1,
+            doc="Pop; jump forward k+1 bytes when true; send "
+                "#mustBeBoolean on a non-boolean.",
+        ),
+        BytecodeFamily(
+            "shortJumpIfFalse", 0x70, 8, stack_effect=-1, min_stack=1,
+            doc="Pop; jump forward k+1 bytes when false; send "
+                "#mustBeBoolean on a non-boolean.",
+        ),
+        BytecodeFamily(
+            "longJump", 0x78, 1, operand_bytes=1, stack_effect=0,
+            doc="Jump by a signed byte displacement.",
+        ),
+        BytecodeFamily(
+            "longJumpIfTrue", 0x79, 1, operand_bytes=1, stack_effect=-1,
+            min_stack=1, doc="Conditional long jump on true.",
+        ),
+        BytecodeFamily(
+            "longJumpIfFalse", 0x7A, 1, operand_bytes=1, stack_effect=-1,
+            min_stack=1, doc="Conditional long jump on false.",
+        ),
+    ]
+    opcode = 0x80
+    for selector, argc in ARITHMETIC_SELECTORS:
+        families.append(
+            BytecodeFamily(
+                f"bytecodePrim{_camel(selector)}", opcode, 1,
+                stack_effect=-argc, min_stack=argc + 1,
+                doc=f"Statically type-predicted {selector!r}; slow path sends.",
+            )
+        )
+        opcode += 1
+    for selector, argc in COMMON_SELECTORS:
+        families.append(
+            BytecodeFamily(
+                f"send{_camel(selector)}", opcode, 1,
+                stack_effect=None, min_stack=argc + 1,
+                doc=f"Send {selector!r} ({argc} args).",
+            )
+        )
+        opcode += 1
+    families += [
+        BytecodeFamily(
+            "sendLiteralSelector0Args", 0xA0, 16, stack_effect=None, min_stack=1,
+            doc="Send the method's k-th literal selector with 0 arguments.",
+        ),
+        BytecodeFamily(
+            "sendLiteralSelector1Arg", 0xB0, 16, stack_effect=None, min_stack=2,
+            doc="Send the method's k-th literal selector with 1 argument.",
+        ),
+        BytecodeFamily(
+            "sendLiteralSelector2Args", 0xC0, 8, stack_effect=None, min_stack=3,
+            doc="Send the method's k-th literal selector with 2 arguments.",
+        ),
+        BytecodeFamily(
+            "callPrimitive", 0xC8, 1, operand_bytes=2, testable=False,
+            doc="Method preamble invoking native method k (not a testable "
+                "instruction by itself; tested through the native-method "
+                "tester).",
+        ),
+        BytecodeFamily(
+            "pushThisContext", 0xC9, 1, stack_effect=1, testable=False,
+            doc="Reify the current frame (unsupported: paper Section 4.3).",
+        ),
+        # Long-form (extended) encodings with an operand byte, covering
+        # indices beyond the single-byte families' embedded ranges.
+        BytecodeFamily(
+            "pushIntegerByte", 0xCA, 1, operand_bytes=1, stack_effect=1,
+            doc="Push the signed operand byte as a SmallInteger.",
+        ),
+        BytecodeFamily(
+            "pushTemporaryVariableLong", 0xCB, 1, operand_bytes=1,
+            stack_effect=1,
+            doc="Push the temporary named by the operand byte (unsafe).",
+        ),
+        BytecodeFamily(
+            "storeTemporaryVariableLong", 0xCC, 1, operand_bytes=1,
+            stack_effect=0, min_stack=1,
+            doc="Store stack top into the operand-byte temp (unsafe).",
+        ),
+        BytecodeFamily(
+            "pushReceiverVariableLong", 0xCD, 1, operand_bytes=1,
+            stack_effect=1,
+            doc="Push the receiver's operand-byte slot (unsafe).",
+        ),
+        BytecodeFamily(
+            "storeReceiverVariableLong", 0xCE, 1, operand_bytes=1,
+            stack_effect=0, min_stack=1,
+            doc="Store stack top into the receiver's operand-byte slot "
+                "(unsafe).",
+        ),
+        BytecodeFamily(
+            "popIntoTemporaryVariableLong", 0xCF, 1, operand_bytes=1,
+            stack_effect=-1, min_stack=1,
+            doc="Pop stack top into the operand-byte temp (unsafe).",
+        ),
+    ]
+    return families
+
+
+def _camel(selector: str) -> str:
+    mapping = {
+        "+": "Add", "-": "Subtract", "*": "Multiply", "/": "Divide",
+        "\\\\": "Modulo", "//": "IntegerDivide", "<": "LessThan",
+        ">": "GreaterThan", "<=": "LessOrEqual", ">=": "GreaterOrEqual",
+        "=": "Equal", "~=": "NotEqual", "==": "IdenticalTo",
+        "bitAnd:": "BitAnd", "bitOr:": "BitOr", "bitXor:": "BitXor",
+        "bitShift:": "BitShift", "at:": "At", "at:put:": "AtPut",
+        "size": "Size", "class": "Class", "value": "Value", "new": "New",
+        "isNil": "IsNil",
+    }
+    return mapping[selector]
+
+
+FAMILIES: tuple[BytecodeFamily, ...] = tuple(_build_families())
+
+
+def _build_table() -> dict[int, Bytecode]:
+    table: dict[int, Bytecode] = {}
+    for family in FAMILIES:
+        for index in range(family.count):
+            opcode = family.first_opcode + index
+            if opcode in table:
+                raise BytecodeError(
+                    f"opcode collision at {opcode:#04x}: "
+                    f"{table[opcode].family.name} vs {family.name}"
+                )
+            if opcode > 0xFF:
+                raise BytecodeError(f"opcode out of range: {opcode:#x}")
+            table[opcode] = Bytecode(opcode, family, index)
+    return table
+
+
+#: opcode byte -> Bytecode, for every defined encoding.
+BYTECODE_TABLE: dict[int, Bytecode] = _build_table()
+
+_BY_NAME: dict[str, Bytecode] = {bc.name: bc for bc in BYTECODE_TABLE.values()}
+
+
+def bytecode_named(name: str) -> Bytecode:
+    """Look an encoding up by name, e.g. ``pushTemporaryVariable3``."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise BytecodeError(f"unknown bytecode: {name}") from None
+
+
+def bytecodes_in_family(family_name: str) -> list[Bytecode]:
+    return [
+        bc for bc in BYTECODE_TABLE.values() if bc.family.name.rstrip("0123456789")
+        == family_name or bc.family.name == family_name
+    ]
+
+
+def testable_bytecodes() -> list[Bytecode]:
+    """All encodings the differential tester targets, in opcode order.
+
+    Excludes the untestable families (``callPrimitive`` preambles and
+    ``pushThisContext`` reification) exactly as the paper curates them.
+    """
+    return sorted(
+        (bc for bc in BYTECODE_TABLE.values() if bc.family.testable),
+        key=lambda bc: bc.opcode,
+    )

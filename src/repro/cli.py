@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main entry points:
+
+* ``explore <instruction>`` — concolic path exploration (Fig. 1 step 1);
+* ``test <instruction> [--compiler C] [--backend B]`` — differential
+  test of every curated path (steps 2-4);
+* ``campaign [--max-bytecodes N] [--max-natives N]`` — the full Table
+  2/3 evaluation;
+* ``list [bytecodes|natives|sequences]`` — the instruction inventory;
+* ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
+  a compiler generates for an instruction test;
+* ``generate <output_dir> <instruction...>`` — persistent pytest suites.
+
+Instruction names are byte-code encodings (``bytecodePrimAdd``),
+primitives (``primitiveAt``) or sequences (``seq:pushTrue+popStackTop``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bytecode.opcodes import bytecode_named, testable_bytecodes
+from repro.concolic.explorer import (
+    BytecodeInstructionSpec,
+    ConcolicExplorer,
+    NativeMethodSpec,
+)
+from repro.concolic.sequences import INTERESTING_SEQUENCES, sequence_spec
+from repro.difftest.report import format_table2, format_table3
+from repro.difftest.runner import CampaignConfig, run_campaign, test_instruction
+from repro.errors import BytecodeError
+from repro.interpreter.primitives import primitive_named, testable_primitives
+from repro.jit.machine.arm32 import Arm32Backend
+from repro.jit.machine.x86 import X86Backend
+from repro.jit.native_templates import NativeMethodCompiler
+from repro.jit.register_allocating import RegisterAllocatingCogit
+from repro.jit.simple_stack import SimpleStackBasedCogit
+from repro.jit.stack_to_register import StackToRegisterCogit
+
+COMPILERS = {
+    "simple": SimpleStackBasedCogit,
+    "s2r": StackToRegisterCogit,
+    "linear": RegisterAllocatingCogit,
+    "native": NativeMethodCompiler,
+}
+BACKENDS = {"x86": X86Backend, "arm32": Arm32Backend}
+
+
+def resolve_spec(name: str):
+    """Instruction name -> spec (byte-code, primitive, or sequence)."""
+    if name.startswith("seq:"):
+        return sequence_spec(*name[4:].split("+"))
+    if name.startswith("primitive"):
+        try:
+            return NativeMethodSpec(primitive_named(name))
+        except KeyError:
+            raise SystemExit(f"unknown primitive: {name}")
+    try:
+        return BytecodeInstructionSpec(bytecode_named(name))
+    except BytecodeError:
+        raise SystemExit(f"unknown instruction: {name}")
+
+
+def default_compiler_for(spec) -> str:
+    return "native" if spec.kind == "native" else "s2r"
+
+
+def cmd_explore(args) -> int:
+    spec = resolve_spec(args.instruction)
+    result = ConcolicExplorer(
+        spec, max_iterations=args.max_iterations, max_paths=args.max_paths
+    ).explore()
+    print(
+        f"{spec.name}: {result.path_count} paths, {result.iterations} "
+        f"iterations, {result.unsat_prefixes} unsat prefixes, "
+        f"{result.elapsed_seconds * 1000:.0f} ms"
+    )
+    for index, path in enumerate(result.paths, 1):
+        print(f"\n#{index} [{path.exit.describe()}]")
+        print(f"  inputs: {path.model.describe() or '(defaults)'}")
+        print(f"  path:   {' AND '.join(str(c) for c in path.constraints)}")
+        print(f"  output: {path.output.describe()}")
+    return 0
+
+
+def cmd_test(args) -> int:
+    spec = resolve_spec(args.instruction)
+    compiler = COMPILERS[args.compiler or default_compiler_for(spec)]
+    config = CampaignConfig(
+        backends=tuple(BACKENDS[b] for b in args.backend),
+        boundary_witnesses=args.boundary,
+    )
+    result = test_instruction(spec, compiler, config)
+    for comparison in result.comparisons:
+        print(comparison.describe())
+    print(
+        f"\n{result.differing_paths} differing / {result.curated_path_count} "
+        f"curated paths on {compiler.name}"
+    )
+    return 1 if result.differing_paths else 0
+
+
+def cmd_campaign(args) -> int:
+    config = CampaignConfig(
+        max_bytecodes=args.max_bytecodes,
+        max_natives=args.max_natives,
+        backends=tuple(BACKENDS[b] for b in args.backend),
+    )
+    if args.sequences:
+        from repro.difftest.runner import run_sequence_campaign
+
+        reports = run_sequence_campaign(config)
+        print(format_table2(reports))
+        return 0
+    reports = run_campaign(config)
+    print(format_table2(reports))
+    print()
+    print(format_table3(reports))
+    return 0
+
+
+def cmd_list(args) -> int:
+    what = args.what
+    if what in ("bytecodes", "all"):
+        for bytecode in testable_bytecodes():
+            print(f"{bytecode.opcode:#04x}  {bytecode.name}")
+    if what in ("natives", "all"):
+        for native in testable_primitives():
+            print(f"{native.index:4d}  {native.name}  ({native.category})")
+    if what in ("sequences", "all"):
+        for entries in INTERESTING_SEQUENCES:
+            rendered = "+".join(
+                entry if isinstance(entry, str) else entry[0]
+                for entry in entries
+            )
+            print(f"seq:{rendered}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.bytecode.methods import SymbolTable
+    from repro.jit.compiler import CompilationUnit
+    from repro.jit.machine.codecache import CodeCache
+    from repro.jit.machine.disassembler import format_disassembly
+    from repro.jit.machine.simulator import TrampolineTable
+    from repro.memory.bootstrap import bootstrap_memory
+
+    spec = resolve_spec(args.instruction)
+    compiler_class = COMPILERS[args.compiler or default_compiler_for(spec)]
+    backend = BACKENDS[args.backend[0]]()
+    memory, _known = bootstrap_memory(heap_words=2048)
+    symbols = SymbolTable(memory)
+    trampolines = TrampolineTable()
+    for service in ("ceAllocateFloat", "ceNewFixedInstance",
+                    "ceNewVariableInstance", "ceMakePoint"):
+        trampolines.service(service, lambda sim: None)
+    method = spec.build_method(memory, symbols)
+    unit = CompilationUnit(
+        method=method,
+        bytecode=getattr(spec, "bytecode", None),
+        native=getattr(spec, "native", None),
+        sequence=tuple(getattr(spec, "sequence", ())),
+    )
+    compiler = compiler_class(
+        memory, trampolines, CodeCache(), backend, symbols
+    )
+    compiled = compiler.compile(unit)
+    print(format_disassembly(compiled.code_object, backend, trampolines))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.difftest.testgen import write_test_suite
+
+    specs = [resolve_spec(name) for name in args.instructions]
+    by_kind: dict = {"native": [], "other": []}
+    for spec in specs:
+        by_kind["native" if spec.kind == "native" else "other"].append(spec)
+    suites = []
+    if by_kind["native"]:
+        suites += write_test_suite(
+            args.output_dir, by_kind["native"], [NativeMethodCompiler]
+        )
+    if by_kind["other"]:
+        compilers = [COMPILERS[name] for name in ("simple", "s2r", "linear")]
+        suites += write_test_suite(args.output_dir, by_kind["other"], compilers)
+    total = sum(suite.test_count for suite in suites)
+    xfails = sum(suite.xfail_count for suite in suites)
+    print(
+        f"generated {len(suites)} modules / {total} tests "
+        f"({xfails} known-difference xfails) in {args.output_dir}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interpreter-guided differential JIT compiler unit testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explore = sub.add_parser("explore", help="concolic path exploration")
+    explore.add_argument("instruction")
+    explore.add_argument("--max-iterations", type=int, default=400)
+    explore.add_argument("--max-paths", type=int, default=128)
+    explore.set_defaults(handler=cmd_explore)
+
+    test = sub.add_parser("test", help="differential test of one instruction")
+    test.add_argument("instruction")
+    test.add_argument("--compiler", choices=sorted(COMPILERS))
+    test.add_argument("--backend", action="append", choices=sorted(BACKENDS))
+    test.add_argument(
+        "--boundary", action="store_true",
+        help="enrich each path with boundary witnesses (extension)",
+    )
+    test.set_defaults(handler=cmd_test)
+
+    campaign = sub.add_parser("campaign", help="the full Table 2/3 evaluation")
+    campaign.add_argument("--max-bytecodes", type=int)
+    campaign.add_argument("--max-natives", type=int)
+    campaign.add_argument("--backend", action="append", choices=sorted(BACKENDS))
+    campaign.add_argument(
+        "--sequences", action="store_true",
+        help="run the byte-code sequence corpus instead (extension)",
+    )
+    campaign.set_defaults(handler=cmd_campaign)
+
+    listing = sub.add_parser("list", help="instruction inventory")
+    listing.add_argument(
+        "what", nargs="?", default="all",
+        choices=("bytecodes", "natives", "sequences", "all"),
+    )
+    listing.set_defaults(handler=cmd_list)
+
+    disasm = sub.add_parser("disasm", help="disassemble a compiled test")
+    disasm.add_argument("instruction")
+    disasm.add_argument("--compiler", choices=sorted(COMPILERS))
+    disasm.add_argument("--backend", action="append", choices=sorted(BACKENDS))
+    disasm.set_defaults(handler=cmd_disasm)
+
+    generate = sub.add_parser("generate", help="emit persistent pytest suites")
+    generate.add_argument("output_dir")
+    generate.add_argument("instructions", nargs="+")
+    generate.set_defaults(handler=cmd_generate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "backend", None) in (None, []):
+        if hasattr(args, "backend"):
+            args.backend = ["x86", "arm32"] if args.command in (
+                "test", "campaign"
+            ) else ["x86"]
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,283 @@
+"""Path exploration: the concolic loop over one VM instruction.
+
+This is the paper's step 1 (Fig. 1): repeatedly execute the instruction
+with concrete inputs, record the path condition, negate the last
+not-yet-negated constraint, ask the solver for new inputs, and continue
+until no unexplored branches remain.  Unlike classical concolic testing
+the loop "does not stop as soon as it finds a concrete error": every
+execution — including invalid-frame and invalid-memory exits — becomes a
+recorded path with its exit condition (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bytecode.methods import CompiledMethod, MethodBuilder, SymbolTable
+from repro.bytecode.opcodes import Bytecode
+from repro.concolic.materialize import Materializer
+from repro.concolic.snapshots import OutputSnapshot
+from repro.concolic.solver import Model, SolverContext, solve
+from repro.concolic.symbolic_memory import SymbolicObjectMemory
+from repro.concolic.trace import PathConstraint, PathTrace
+from repro.concolic.values import tracing
+from repro.errors import (
+    HeapExhausted,
+    InvalidFrameAccess,
+    InvalidMemoryAccess,
+    UntaggedValueError,
+)
+from repro.interpreter.exits import ExitCondition, ExitResult
+from repro.interpreter.interpreter import Interpreter
+from repro.interpreter.primitives import NativeMethod
+from repro.memory.bootstrap import bootstrap_memory
+
+
+# ======================================================================
+# instruction specs
+
+
+@dataclass(frozen=True)
+class BytecodeInstructionSpec:
+    """A byte-code encoding under test."""
+
+    bytecode: Bytecode
+
+    @property
+    def name(self) -> str:
+        return self.bytecode.name
+
+    @property
+    def kind(self) -> str:
+        return "bytecode"
+
+    def build_method(self, memory, symbols: SymbolTable) -> CompiledMethod:
+        """One-instruction method, padded so jump targets exist.
+
+        Literal slots are filled with interned selectors for send
+        families and with distinct tagged integers otherwise, so every
+        embedded literal index is valid.
+        """
+        builder = MethodBuilder(memory, symbols)
+        builder.temps(16)
+        family = self.bytecode.family.name
+        if family.startswith("sendLiteralSelector"):
+            for index in range(16):
+                builder.selector_literal(f"sel{index}:")
+        else:
+            for index in range(16):
+                builder.literal(memory.integer_object_of(100 + index))
+        builder.emit(self.bytecode.opcode)
+        if self.bytecode.family.operand_bytes == 1:
+            builder.emit(2)  # forward displacement into the padding
+        elif self.bytecode.family.operand_bytes == 2:
+            builder.emit(1, 0)
+        from repro.bytecode.opcodes import bytecode_named
+
+        nop = bytecode_named("nop").opcode
+        for _ in range(8):
+            builder.emit(nop)
+        return builder.build()
+
+    def execute(self, interpreter: Interpreter, frame) -> ExitResult:
+        try:
+            return interpreter.step(frame)
+        except HeapExhausted as error:
+            return ExitResult.needs_garbage_collection(str(error))
+
+
+@dataclass(frozen=True)
+class NativeMethodSpec:
+    """A native method (primitive) under test."""
+
+    native: NativeMethod
+
+    @property
+    def name(self) -> str:
+        return self.native.name
+
+    @property
+    def kind(self) -> str:
+        return "native"
+
+    def build_method(self, memory, symbols: SymbolTable) -> CompiledMethod:
+        builder = MethodBuilder(memory, symbols)
+        builder.temps(16)
+        builder.primitive(self.native.index)
+        return builder.build()
+
+    def execute(self, interpreter: Interpreter, frame) -> ExitResult:
+        try:
+            return interpreter.call_primitive(
+                self.native, frame, self.native.argument_count
+            )
+        except InvalidFrameAccess as error:
+            return ExitResult.invalid_frame(str(error))
+        except (InvalidMemoryAccess, UntaggedValueError) as error:
+            return ExitResult.invalid_memory_access(str(error))
+        except HeapExhausted as error:
+            return ExitResult.needs_garbage_collection(str(error))
+
+
+# ======================================================================
+# results
+
+
+@dataclass
+class PathResult:
+    """One fully explored execution path of an instruction."""
+
+    instruction: str
+    kind: str
+    #: The recorded path condition.
+    constraints: list[PathConstraint]
+    #: The input model that drove this execution.
+    model: Model
+    exit: ExitResult
+    output: OutputSnapshot
+
+    @property
+    def signature(self) -> tuple:
+        return tuple(constraint.key for constraint in self.constraints)
+
+    def describe(self) -> str:
+        trace = " AND ".join(str(c) for c in self.constraints) or "(empty)"
+        return (
+            f"[{self.exit.describe()}] inputs: {self.model.describe() or '(default)'}"
+            f" | path: {trace}"
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """All paths of one instruction plus bookkeeping counters."""
+
+    instruction: str
+    kind: str
+    paths: list[PathResult] = field(default_factory=list)
+    iterations: int = 0
+    unsat_prefixes: int = 0
+    duplicate_paths: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def exits(self) -> dict:
+        counts: dict = {}
+        for path in self.paths:
+            counts[path.exit.condition] = counts.get(path.exit.condition, 0) + 1
+        return counts
+
+
+# ======================================================================
+# the explorer
+
+
+class ConcolicExplorer:
+    """Explores all execution paths of one instruction."""
+
+    def __init__(
+        self,
+        spec,
+        *,
+        heap_words: int = 8 * 1024,
+        max_iterations: int = 400,
+        max_paths: int = 128,
+    ) -> None:
+        self.spec = spec
+        self.max_iterations = max_iterations
+        self.max_paths = max_paths
+        self.memory, self.known = bootstrap_memory(
+            heap_words=heap_words, memory_class=SymbolicObjectMemory
+        )
+        self.symbols = SymbolTable(self.memory)
+        self.interpreter = Interpreter(self.memory, self.symbols)
+        self.method = spec.build_method(self.memory, self.symbols)
+        self.context = SolverContext.from_memory(self.memory)
+        #: Heap state right after method synthesis; every iteration
+        #: starts from this snapshot (instructions have side effects).
+        self._base_heap = self.memory.heap.snapshot()
+
+    # ------------------------------------------------------------------
+
+    def explore(self) -> ExplorationResult:
+        """Run the negate-last-unnegated loop to completion."""
+        start = time.perf_counter()
+        result = ExplorationResult(self.spec.name, self.spec.kind)
+        tried_prefixes: set = set()
+        seen_paths: set = set()
+        # Work stack of constraint prefixes to realize (LIFO = DFS).
+        worklist: list[list[PathConstraint]] = [[]]
+        while worklist and result.iterations < self.max_iterations:
+            if len(result.paths) >= self.max_paths:
+                break
+            prefix = worklist.pop()
+            result.iterations += 1
+            model = solve([c.literal for c in prefix], self.context)
+            if model is None:
+                result.unsat_prefixes += 1
+                continue
+            path = self._execute_once(model)
+            if path.signature in seen_paths:
+                result.duplicate_paths += 1
+            else:
+                seen_paths.add(path.signature)
+                result.paths.append(path)
+            # Schedule negations of every suffix constraint (deepest
+            # first so the DFS explores "closest" branches next).
+            for index in range(len(path.constraints)):
+                candidate = list(path.constraints[:index]) + [
+                    path.constraints[index].negated()
+                ]
+                key = tuple(c.key for c in candidate)
+                if key not in tried_prefixes:
+                    tried_prefixes.add(key)
+                    worklist.append(candidate)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+
+    def execute_with_model(self, model: Model) -> PathResult:
+        """One concolic execution with externally supplied inputs.
+
+        Public entry used by the random-testing baseline: the inputs
+        come from a generator instead of the solver, but the recorded
+        path signature is computed the same way.
+        """
+        return self._execute_once(model)
+
+    def _execute_once(self, model: Model) -> PathResult:
+        """One concolic execution with the inputs described by *model*."""
+        memory = self.memory
+        memory.heap.restore(self._base_heap)
+        memory._registry.clear()
+        materializer = Materializer(memory, model)
+        frame = materializer.materialize_frame(self.method)
+        input_heap = memory.heap.snapshot()
+        trace = PathTrace()
+        with tracing(trace):
+            exit_result = self.spec.execute(self.interpreter, frame)
+        output = OutputSnapshot.capture(memory, frame, exit_result, input_heap)
+        memory.heap.restore(self._base_heap)
+        return PathResult(
+            instruction=self.spec.name,
+            kind=self.spec.kind,
+            constraints=list(trace),
+            model=model,
+            exit=exit_result,
+            output=output,
+        )
+
+
+def explore_bytecode(bytecode: Bytecode, **kwargs) -> ExplorationResult:
+    """Convenience: explore one byte-code encoding."""
+    return ConcolicExplorer(BytecodeInstructionSpec(bytecode), **kwargs).explore()
+
+
+def explore_native_method(native: NativeMethod, **kwargs) -> ExplorationResult:
+    """Convenience: explore one native method."""
+    return ConcolicExplorer(NativeMethodSpec(native), **kwargs).explore()

@@ -1,0 +1,162 @@
+"""Materialization: interpret a solver model into concrete VM state.
+
+"Re-creating a VM input implies interpreting the results of the
+constraint solver using the structural information in the VM object
+constraints" (paper Section 3.2).  Given a :class:`Model`, this module
+allocates real heap objects, builds the concrete operand stack and
+temporaries, and pairs every created value with its abstract identity so
+the symbolic run can keep recording constraints against stable names.
+
+Naming convention (shared with :class:`ConcolicFrame`):
+
+* ``recv`` — the receiver;
+* ``stack{d}`` — the operand-stack entry at *entry depth d* (0 = top);
+* ``temp{i}`` — the i-th temporary;
+* ``{parent}.slot{i}`` / ``{parent}.raw{i}`` — object slots.
+"""
+
+from __future__ import annotations
+
+from repro.concolic.abstract import AbstractValue
+from repro.concolic.solver.model import Kind, KindTag, Model
+from repro.concolic.symbolic_memory import ConcolicFrame, SymbolicObjectMemory
+from repro.concolic.values import ConcolicOop
+from repro.memory.layout import small_int_oop
+
+
+class Materializer:
+    """Builds concrete inputs for one concolic/differential execution."""
+
+    def __init__(self, memory: SymbolicObjectMemory, model: Model):
+        self.memory = memory
+        self.model = model
+        #: representative var name -> concrete oop (alias sharing).
+        self._cache: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def materialize_value(self, abstract: AbstractValue) -> ConcolicOop:
+        """Create (or reuse) the concrete value for *abstract*."""
+        rep = self.model.representative(abstract.name)
+        if rep in self._cache:
+            oop = self._cache[rep]
+        else:
+            oop = self._build(rep, self.model.kind_of(rep))
+        value = ConcolicOop(oop, abstract=abstract)
+        self.memory.register(value)
+        return value
+
+    def _build(self, rep: str, kind: Kind) -> int:
+        memory = self.memory
+        if kind.tag == KindTag.SMALL_INT:
+            oop = small_int_oop(kind.value)
+        elif kind.tag == KindTag.NIL:
+            oop = memory.nil_object
+        elif kind.tag == KindTag.TRUE:
+            oop = memory.true_object
+        elif kind.tag == KindTag.FALSE:
+            oop = memory.false_object
+        elif kind.tag == KindTag.FLOAT:
+            # Allocate without symbolic wrapping: the identity comes from
+            # the ConcolicOop built by the caller.
+            oop = super(SymbolicObjectMemory, memory).float_object_of(
+                self.model.float_value_of(rep)
+            )
+        elif kind.tag == KindTag.OBJECT:
+            oop = self._build_object(rep, kind)
+        else:  # pragma: no cover - exhaustive over KindTag
+            raise ValueError(f"unknown kind {kind.tag}")
+        self._cache[rep] = oop
+        return oop
+
+    def _build_object(self, rep: str, kind: Kind) -> int:
+        memory = self.memory
+        cls = memory.class_table.at(kind.class_index)
+        indexable = max(0, kind.num_slots - cls.fixed_slots) if cls.is_variable else 0
+        oop = memory.instantiate(cls, indexable)
+        self._cache[rep] = oop  # pre-register: tolerate cyclic slots
+        # Fill slots the model knows about.
+        slot_prefix = f"{rep}.slot"
+        raw_prefix = f"{rep}.raw"
+        names = set(self.model.kinds) | set(self.model.aliases)
+        assigned: set[int] = set()
+        for name in names:
+            if name.startswith(slot_prefix):
+                suffix = name[len(slot_prefix):]
+                if suffix.isdigit():
+                    index = int(suffix)
+                    if index < kind.num_slots:
+                        child = self.materialize_value(AbstractValue(name))
+                        memory.heap.write_word(
+                            memory.slot_address(oop, index), child.concrete
+                        )
+                        assigned.add(index)
+        for name, value in self.model.int_values.items():
+            if name.startswith(raw_prefix):
+                suffix = name[len(raw_prefix):]
+                if suffix.isdigit():
+                    index = int(suffix)
+                    if index < kind.num_slots:
+                        memory.heap.write_word(
+                            memory.slot_address(oop, index), value & 0xFFFFFFFF
+                        )
+                        assigned.add(index)
+        self._fill_untouched_slots(oop, kind, assigned)
+        return oop
+
+    def _fill_untouched_slots(self, oop: int, kind: Kind, assigned: set) -> None:
+        """Give unconstrained slots distinct sentinel contents.
+
+        The concolic run recorded no constraints on these slots, so any
+        value is a valid input — and *distinct* values make defects like
+        off-by-one slot indices observable, where uniform nil/zero fills
+        would mask them.
+        """
+        from repro.memory.layout import ObjectFormat
+
+        memory = self.memory
+        cls = memory.class_table.at(kind.class_index)
+        for index in range(kind.num_slots):
+            if index in assigned:
+                continue
+            address = memory.slot_address(oop, index)
+            if cls.instance_format.is_pointers:
+                sentinel = small_int_oop((701 + 31 * index) % 900 + 100)
+                memory.heap.write_word(address, sentinel)
+            elif cls.instance_format == ObjectFormat.BYTES:
+                memory.heap.write_word(address, (index + 1) % 256)
+            else:
+                memory.heap.write_word(address, 0x1000 + index)
+
+    # ------------------------------------------------------------------
+
+    def stack_depth(self) -> int:
+        size = self.model.int_values.get("stack_size", 0)
+        return max(0, min(size, self.model.context.max_stack))
+
+    def temp_depth(self) -> int:
+        count = self.model.int_values.get("temp_count", 0)
+        return max(0, min(count, self.model.context.max_temps))
+
+    def materialize_stack(self) -> list:
+        """Bottom-to-top operand stack values (entry depth descending)."""
+        depth = self.stack_depth()
+        return [
+            self.materialize_value(AbstractValue(f"stack{d}"))
+            for d in range(depth - 1, -1, -1)
+        ]
+
+    def materialize_temps(self) -> list:
+        return [
+            self.materialize_value(AbstractValue(f"temp{i}"))
+            for i in range(self.temp_depth())
+        ]
+
+    def materialize_frame(self, method) -> ConcolicFrame:
+        receiver = self.materialize_value(AbstractValue("recv"))
+        return ConcolicFrame(
+            receiver,
+            method,
+            input_stack=self.materialize_stack(),
+            input_temps=self.materialize_temps(),
+        )

@@ -1,0 +1,207 @@
+"""Byte-code *sequence* testing — the paper's stated future work.
+
+"In the future we plan to extend this work to generate minimal and
+relevant byte-code sequences for unit testing the JIT compiler"
+(paper Section 7).
+
+Sequences matter because the StackToRegister compilers only reveal
+their parse-time-stack machinery across instruction boundaries: a push
+byte-code under test "generates no code at all" until a later
+instruction consumes the value (paper Section 4.2).  A
+:class:`BytecodeSequenceSpec` concolically explores N instructions as
+one unit and the differential tester compiles them as one method body,
+so deferred-push/pop elimination, cross-instruction register reuse and
+intra-sequence jumps are exercised for real.
+
+Restrictions (validated at construction):
+
+* forward jumps only — backward jumps would need loop bounds;
+* ``pushLiteralConstant`` and ``sendLiteralSelector*`` cannot be mixed
+  in one sequence (they need different literal frames);
+* only testable families (no reification, no primitive preambles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bytecode.methods import CompiledMethod, MethodBuilder, SymbolTable
+from repro.bytecode.opcodes import Bytecode, bytecode_named
+from repro.errors import (
+    BytecodeError,
+    HeapExhausted,
+    InvalidFrameAccess,
+    InvalidMemoryAccess,
+)
+from repro.interpreter.exits import ExitCondition, ExitResult
+from repro.interpreter.interpreter import Interpreter
+
+#: Safety bound on interpreted steps (forward-only jumps terminate
+#: well before this; hitting it marks the path for curation).
+MAX_SEQUENCE_STEPS = 64
+
+
+def _encode(entry) -> tuple[Bytecode, tuple]:
+    """Normalize a sequence entry to (Bytecode, operand bytes)."""
+    if isinstance(entry, str):
+        return bytecode_named(entry), ()
+    if isinstance(entry, Bytecode):
+        return entry, ()
+    name, *operands = entry
+    bytecode = name if isinstance(name, Bytecode) else bytecode_named(name)
+    return bytecode, tuple(int(op) & 0xFF for op in operands)
+
+
+@dataclass(frozen=True)
+class BytecodeSequenceSpec:
+    """A short byte-code sequence under concolic + differential test."""
+
+    #: ((Bytecode, operand bytes), ...) — built via :func:`sequence_spec`.
+    sequence: tuple
+
+    def __post_init__(self):
+        self._validate()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return "seq:" + "+".join(bc.name for bc, _ in self.sequence)
+
+    @property
+    def kind(self) -> str:
+        return "sequence"
+
+    @property
+    def byte_size(self) -> int:
+        return sum(bc.size for bc, _ in self.sequence)
+
+    def _validate(self) -> None:
+        uses_literals = False
+        uses_selectors = False
+        pc = 0
+        for bytecode, operands in self.sequence:
+            family = bytecode.family.name
+            if not bytecode.family.testable:
+                raise BytecodeError(f"{bytecode.name} is not testable")
+            if len(operands) != bytecode.family.operand_bytes:
+                raise BytecodeError(f"bad operand count for {bytecode.name}")
+            if family == "pushLiteralConstant":
+                uses_literals = True
+            if family.startswith("sendLiteralSelector"):
+                uses_selectors = True
+            if family.startswith("longJump"):
+                displacement = operands[0] - 256 if operands[0] >= 128 else operands[0]
+                if displacement < 0:
+                    raise BytecodeError("backward jumps are unsupported")
+            pc += bytecode.size
+        if uses_literals and uses_selectors:
+            raise BytecodeError(
+                "cannot mix pushLiteralConstant and sendLiteralSelector "
+                "in one sequence (conflicting literal frames)"
+            )
+        self.__dict__["_uses_selectors"] = uses_selectors
+
+    # ------------------------------------------------------------------
+    # protocol shared with the single-instruction specs
+
+    def build_method(self, memory, symbols: SymbolTable) -> CompiledMethod:
+        builder = MethodBuilder(memory, symbols)
+        builder.temps(16)
+        if self.__dict__.get("_uses_selectors"):
+            for index in range(16):
+                builder.selector_literal(f"sel{index}:")
+        else:
+            for index in range(16):
+                builder.literal(memory.integer_object_of(100 + index))
+        for bytecode, operands in self.sequence:
+            builder.emit(bytecode.opcode, *operands)
+        nop = bytecode_named("nop").opcode
+        for _ in range(8):
+            builder.emit(nop)
+        return builder.build()
+
+    def execute(self, interpreter: Interpreter, frame) -> ExitResult:
+        """Step until the sequence is left or a non-success exit occurs."""
+        end = self.byte_size
+        for _ in range(MAX_SEQUENCE_STEPS):
+            if frame.pc >= end:
+                return ExitResult.success()
+            try:
+                result = interpreter.step(frame)
+            except HeapExhausted as error:
+                return ExitResult.needs_garbage_collection(str(error))
+            if result.condition != ExitCondition.SUCCESS:
+                return result
+        return ExitResult.invalid_frame("sequence step budget exhausted")
+
+
+def sequence_spec(*entries) -> BytecodeSequenceSpec:
+    """Build a spec from mnemonics: ``sequence_spec("pushTrue", "popStackTop")``."""
+    return BytecodeSequenceSpec(tuple(_encode(entry) for entry in entries))
+
+
+# ----------------------------------------------------------------------
+# curated interesting sequences (for tests, benches and campaigns)
+
+#: Pairs/triples chosen to exercise cross-instruction compiler state:
+#: deferred pushes consumed by pops, arithmetic over pushed constants,
+#: stores reading deferred values, jumps over pushes.
+INTERESTING_SEQUENCES: tuple[tuple, ...] = (
+    ("pushTrue", "popStackTop"),  # S2R compiles this to *nothing*
+    ("pushOne", "pushTwo", "bytecodePrimAdd"),
+    ("pushTwo", "duplicateTop", "bytecodePrimMultiply"),
+    ("duplicateTop", "popStackTop"),
+    ("pushTrue", "shortJumpIfTrue1", "pushNil", "nop"),
+    ("pushZero", "popIntoTemporaryVariable0", "pushTemporaryVariable0"),
+    ("pushOne", "pushTwo", "bytecodePrimLessThan", "shortJumpIfFalse1",
+     "pushTrue", "nop"),
+    ("pushReceiver", "sendIsNil"),
+    ("pushMinusOne", "pushOne", "bytecodePrimBitAnd"),
+    ("pushTwo", "returnTop"),
+    ("storeTemporaryVariable0", "popStackTop", "pushTemporaryVariable0"),
+    ("pushOne", ("longJump", 1), "nop", "pushTwo", "bytecodePrimAdd"),
+)
+
+
+def interesting_sequences() -> list[BytecodeSequenceSpec]:
+    """The curated sequence corpus."""
+    return [sequence_spec(*entries) for entries in INTERESTING_SEQUENCES]
+
+
+# ----------------------------------------------------------------------
+# systematic generation: minimal producer/consumer pairs
+
+#: Byte-codes that push exactly one value (one representative per
+#: producing family).
+PRODUCERS = (
+    "pushTrue", "pushNil", "pushZero", "pushMinusOne", "pushReceiver",
+    "pushLiteralConstant0", "pushTemporaryVariable0",
+    ("pushIntegerByte", 7),
+)
+
+#: Byte-codes that consume the pushed value — each pairs a different
+#: compiler mechanism with the deferred push (pop elimination, frame
+#: store, arithmetic type check, return, conditional branch).
+CONSUMERS = (
+    ("popStackTop",),
+    ("popIntoTemporaryVariable1",),
+    ("storeTemporaryVariable2", "popStackTop"),
+    ("returnTop",),
+    ("duplicateTop", "popStackTop", "popStackTop"),
+    ("pushOne", "bytecodePrimAdd"),
+    ("pushTwo", "bytecodePrimLessThan"),
+    ("shortJumpIfTrue1", "nop", "nop"),
+    ("sendIsNil",),
+)
+
+
+def generate_pair_sequences() -> list[BytecodeSequenceSpec]:
+    """Every (producer, consumer) pair — "minimal and relevant byte-code
+    sequences" in the sense of the paper's future work: the smallest
+    programs in which a deferred push meets each consuming mechanism."""
+    specs = []
+    for producer in PRODUCERS:
+        for consumer in CONSUMERS:
+            specs.append(sequence_spec(producer, *consumer))
+    return specs

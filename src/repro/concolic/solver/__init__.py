@@ -1,0 +1,28 @@
+"""A from-scratch constraint solver for concolic path conditions.
+
+The paper uses an external solver with two documented gaps: integers cap
+at 56-bit precision and bit-wise operations are unsupported (Section
+4.3).  The offline environment here has no SMT solver at all, so this
+package implements one scoped to exactly the constraint language the
+concolic engine produces: a *conjunction* of literals over
+
+* kind predicates (``is_small_int(v)``, ``is_float(v)``, ...),
+* comparisons between integer terms built from ``int_value_of(v)``,
+  ``class_index_of(v)``, ``slot_count_of(v)``, frame-size variables and
+  arithmetic over them,
+* comparisons between float terms,
+* identity literals between abstract values.
+
+Decision procedure: enumerate kind assignments (domains are tiny),
+resolve class-dependent attributes, then find witnesses for the residual
+numeric constraints by candidate-pool search seeded from the constants
+appearing in the constraints.  The solver is sound (every model is
+checked by evaluation before being returned) but deliberately
+incomplete: a path whose witnesses are not found is reported
+unsatisfiable and curated out, mirroring the paper's own curation step.
+"""
+
+from repro.concolic.solver.model import Kind, KindTag, Model, SolverContext
+from repro.concolic.solver.solver import UNSAT, solve
+
+__all__ = ["Kind", "KindTag", "Model", "SolverContext", "solve", "UNSAT"]

@@ -1,0 +1,244 @@
+"""The symbolic term language.
+
+Terms model *VM semantics*, not raw memory manipulation (paper Section
+3.3): instead of tag-bit arithmetic we have semantic predicates such as
+``is_small_int(v)`` and ``class_index_of(v)``.  This keeps condition
+negation meaningful (the negation of "is a tagged integer" is "is not a
+tagged integer", with range information living in the solver's kind
+domains) and keeps the constraint language free of bit-wise pointer
+operations the paper's solver could not handle either.
+
+A term is an immutable tree: leaves are variables and constants, inner
+nodes apply an operator.  Boolean terms appear in path constraints;
+integer and float terms appear inside comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Sort(enum.Enum):
+    """The type of a term."""
+
+    OOP = "oop"  # an abstract VM value (tagged int or object reference)
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+
+
+#: Operators grouped by shape; the solver dispatches on these names.
+INT_BINARY_OPS = frozenset(
+    {"add", "sub", "mul", "floordiv", "mod", "quo", "shl", "shr",
+     "bitand", "bitor", "bitxor"}
+)
+COMPARISON_OPS = frozenset({"lt", "le", "gt", "ge", "eq", "ne"})
+KIND_PREDICATES = frozenset(
+    {"is_small_int", "is_float", "is_nil", "is_true", "is_false"}
+)
+OOP_ATTRIBUTES = frozenset(
+    {"int_value_of", "float_value_of", "class_index_of", "format_of",
+     "slot_count_of"}
+)
+
+
+@dataclass(frozen=True)
+class Term:
+    """One node of a symbolic expression tree."""
+
+    op: str
+    args: tuple
+    sort: Sort
+
+    def __str__(self) -> str:
+        if self.op == "var":
+            return str(self.args[0])
+        if self.op == "const":
+            return repr(self.args[0])
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.op}({rendered})"
+
+    @property
+    def is_var(self) -> bool:
+        return self.op == "var"
+
+    @property
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+    def variables(self) -> Iterator["Term"]:
+        """Yield every variable leaf (possibly repeatedly)."""
+        if self.is_var:
+            yield self
+            return
+        for arg in self.args:
+            if isinstance(arg, Term):
+                yield from arg.variables()
+
+
+# ----------------------------------------------------------------------
+# constructors
+
+
+def var(name: str, sort: Sort) -> Term:
+    return Term("var", (name,), sort)
+
+
+def const(value, sort: Sort | None = None) -> Term:
+    if sort is None:
+        if isinstance(value, bool):
+            sort = Sort.BOOL
+        elif isinstance(value, int):
+            sort = Sort.INT
+        elif isinstance(value, float):
+            sort = Sort.FLOAT
+        else:
+            raise TypeError(f"cannot infer sort of {value!r}")
+    return Term("const", (value,), sort)
+
+
+def _lift(value, sort: Sort) -> Term:
+    if isinstance(value, Term):
+        return value
+    return const(value, sort)
+
+
+def int_binary(op: str, left, right) -> Term:
+    if op not in INT_BINARY_OPS:
+        raise ValueError(f"unknown integer operator {op}")
+    return Term(op, (_lift(left, Sort.INT), _lift(right, Sort.INT)), Sort.INT)
+
+
+def neg(operand) -> Term:
+    return Term("neg", (_lift(operand, Sort.INT),), Sort.INT)
+
+
+def float_binary(op: str, left, right) -> Term:
+    if op not in {"add", "sub", "mul", "div"}:
+        raise ValueError(f"unknown float operator {op}")
+    return Term(
+        "f" + op, (_lift(left, Sort.FLOAT), _lift(right, Sort.FLOAT)), Sort.FLOAT
+    )
+
+
+def compare(op: str, left, right, operand_sort: Sort = Sort.INT) -> Term:
+    if op not in COMPARISON_OPS:
+        raise ValueError(f"unknown comparison {op}")
+    return Term(
+        op, (_lift(left, operand_sort), _lift(right, operand_sort)), Sort.BOOL
+    )
+
+
+def kind_predicate(op: str, oop_term: Term) -> Term:
+    if op not in KIND_PREDICATES:
+        raise ValueError(f"unknown kind predicate {op}")
+    return Term(op, (oop_term,), Sort.BOOL)
+
+
+def oop_attribute(op: str, oop_term: Term) -> Term:
+    if op not in OOP_ATTRIBUTES:
+        raise ValueError(f"unknown oop attribute {op}")
+    sort = Sort.FLOAT if op == "float_value_of" else Sort.INT
+    return Term(op, (oop_term,), sort)
+
+
+def int_to_float(operand) -> Term:
+    return Term("int_to_float", (_lift(operand, Sort.INT),), Sort.FLOAT)
+
+
+def identical(left: Term, right: Term) -> Term:
+    return Term("identical", (left, right), Sort.BOOL)
+
+
+def not_(operand: Term) -> Term:
+    """Logical negation; double negations cancel."""
+    if operand.op == "not":
+        return operand.args[0]
+    return Term("not", (operand,), Sort.BOOL)
+
+
+# ----------------------------------------------------------------------
+# evaluation
+
+
+_COMPARISONS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+_INT_BINARIES = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "floordiv": lambda a, b: a // b if b != 0 else None,
+    "mod": lambda a, b: a % b if b != 0 else None,
+    "quo": lambda a, b: None
+    if b == 0
+    else (-(-a // b) if (a < 0) != (b < 0) else a // b),
+    "shl": lambda a, b: a << b if 0 <= b <= 64 else None,
+    "shr": lambda a, b: a >> b if 0 <= b <= 64 else None,
+    "bitand": lambda a, b: a & b,
+    "bitor": lambda a, b: a | b,
+    "bitxor": lambda a, b: a ^ b,
+}
+
+_FLOAT_BINARIES = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": lambda a, b: a / b if b != 0.0 else None,
+}
+
+
+class EvaluationError(Exception):
+    """The term cannot be evaluated under the given environment."""
+
+
+def evaluate(term: Term, env) -> object:
+    """Evaluate *term* under *env*.
+
+    ``env`` is a callable mapping ``(op, var_name)`` to a value, where
+    *op* is ``"var"`` for plain variables or an oop attribute / kind
+    predicate name for terms like ``int_value_of(v)``.  The solver's
+    :class:`~repro.concolic.solver.model.Model` provides this callable.
+    """
+    if term.is_const:
+        return term.args[0]
+    if term.is_var:
+        return env("var", term.args[0])
+    if term.op in KIND_PREDICATES or term.op in OOP_ATTRIBUTES:
+        inner = term.args[0]
+        if not inner.is_var:
+            raise EvaluationError(f"oop predicate over non-variable: {term}")
+        return env(term.op, inner.args[0])
+    if term.op == "identical":
+        left, right = term.args
+        if not (left.is_var and right.is_var):
+            raise EvaluationError(f"identity over non-variables: {term}")
+        return env("identical", (left.args[0], right.args[0]))
+    if term.op == "not":
+        return not evaluate(term.args[0], env)
+    if term.op == "neg":
+        return -evaluate(term.args[0], env)
+    if term.op == "int_to_float":
+        return float(evaluate(term.args[0], env))
+    values = [evaluate(arg, env) for arg in term.args]
+    if term.op in _COMPARISONS:
+        return _COMPARISONS[term.op](*values)
+    if term.op in _INT_BINARIES:
+        result = _INT_BINARIES[term.op](*values)
+        if result is None:
+            raise EvaluationError(f"undefined arithmetic in {term}")
+        return result
+    if term.op in _FLOAT_BINARIES:
+        result = _FLOAT_BINARIES[term.op](*values)
+        if result is None:
+            raise EvaluationError(f"undefined float arithmetic in {term}")
+        return result
+    raise EvaluationError(f"unknown operator {term.op}")

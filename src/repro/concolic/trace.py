@@ -1,0 +1,71 @@
+"""Path constraint recording.
+
+A :class:`PathTrace` is the active recorder for one concolic execution:
+every time the interpreter branches on a symbolic boolean, the boolean's
+term is appended together with the polarity the concrete execution took.
+The trace is exactly the paper's "path condition".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concolic.terms import Term, not_
+
+
+@dataclass(frozen=True)
+class PathConstraint:
+    """One recorded branch: a boolean term and the polarity taken."""
+
+    term: Term
+    taken: bool
+
+    @property
+    def literal(self) -> Term:
+        """The constraint as a positive boolean term."""
+        return self.term if self.taken else not_(self.term)
+
+    def negated(self) -> "PathConstraint":
+        return PathConstraint(self.term, not self.taken)
+
+    #: Canonical key for prefix bookkeeping in the explorer.
+    @property
+    def key(self) -> tuple:
+        return (str(self.term), self.taken)
+
+    def __str__(self) -> str:
+        return str(self.term) if self.taken else f"not({self.term})"
+
+
+@dataclass
+class PathTrace:
+    """Recorder for one concolic execution."""
+
+    constraints: list[PathConstraint] = field(default_factory=list)
+    #: When True, branches are no longer recorded (used while replaying
+    #: helper code that is not part of the instruction under test).
+    muted: bool = False
+
+    def record(self, term: Term, taken: bool) -> None:
+        if self.muted:
+            return
+        constraint = PathConstraint(term, taken)
+        # Consecutive duplicates arise from `and`/`or` chaining over
+        # concolic booleans (the caller re-tests the returned operand);
+        # they are redundant in a conjunction and would make the
+        # negate-last step trivially unsatisfiable.
+        if self.constraints and self.constraints[-1] == constraint:
+            return
+        self.constraints.append(constraint)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def literals(self) -> list[Term]:
+        return [constraint.literal for constraint in self.constraints]
+
+    def describe(self) -> str:
+        return " AND ".join(str(c) for c in self.constraints) or "(empty)"

@@ -1,0 +1,31 @@
+"""Interpreter-compiler differential testing (paper Fig. 1, steps 2-4).
+
+Given the concolic exploration of an instruction (step 1), this package
+compiles the instruction with a JIT front-end, materializes the input
+constraints into concrete VM state *shaped for the compiler's calling
+convention*, executes the compiled code on the CPU simulator, and
+validates that the machine behaved like the interpreter: same exit
+condition, same operand-stack/result values, same heap side effects.
+"""
+
+from repro.difftest.harness import DifferentialTester, ComparisonResult, Status
+from repro.difftest.defects import DefectCategory, classify, group_causes
+from repro.difftest.runner import (
+    CampaignConfig,
+    CompilerReport,
+    run_campaign,
+    test_instruction,
+)
+
+__all__ = [
+    "DifferentialTester",
+    "ComparisonResult",
+    "Status",
+    "DefectCategory",
+    "classify",
+    "group_causes",
+    "CampaignConfig",
+    "CompilerReport",
+    "run_campaign",
+    "test_instruction",
+]

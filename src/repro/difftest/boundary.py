@@ -1,0 +1,95 @@
+"""Boundary-witness enrichment: extra inputs per concolic path.
+
+One witness per path cannot distinguish operators that agree on that
+witness: a compiled ``<`` mutated to ``<=`` behaves identically unless
+some input sits exactly on the equality boundary — and because the
+interpreter never *branches* on a comparison's result, no path
+constraint ever pins that boundary (see
+``tests/difftest/test_fault_injection.py`` for the escape).
+
+This module derives additional witnesses for a path by augmenting its
+path condition with *boundary probes* and re-solving:
+
+* ``int_value_of(a) == int_value_of(b)`` for every pair of
+  integer-constrained operands (kills boundary-adjacent comparison
+  mutants);
+* ``int_value_of(a) == probe`` for a handful of distinguished values
+  (0, 1, -1) that are common algebraic fixpoints.
+
+Every returned model still satisfies the original path condition, so
+the interpreter follows the same path; the differential comparison then
+runs on inputs where more mutants are observable.  This is an
+*extension* beyond the paper, enabled via
+``CampaignConfig(boundary_witnesses=True)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.concolic.explorer import PathResult
+from repro.concolic.solver import Model, SolverContext, solve
+from repro.concolic.terms import (
+    KIND_PREDICATES,
+    Sort,
+    Term,
+    compare,
+    oop_attribute,
+    var,
+)
+
+#: Distinguished single-variable probe values.
+PROBE_VALUES = (0, 1, -1)
+
+#: Cap on extra witnesses per path (each costs a differential run).
+MAX_BOUNDARY_WITNESSES = 4
+
+
+def _positive_small_int_vars(path: PathResult) -> list[str]:
+    """Variables the path constrains to be tagged integers."""
+    names = []
+    for constraint in path.constraints:
+        term = constraint.term
+        if (
+            constraint.taken
+            and term.op == "is_small_int"
+            and term.args[0].is_var
+        ):
+            name = term.args[0].args[0]
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _int_value(name: str) -> Term:
+    return oop_attribute("int_value_of", var(name, Sort.OOP))
+
+
+def boundary_models(path: PathResult, context: SolverContext) -> list[Model]:
+    """Extra witnesses for *path*, all satisfying its path condition."""
+    literals = [constraint.literal for constraint in path.constraints]
+    int_vars = _positive_small_int_vars(path)
+    probes: list[Term] = []
+    for left, right in combinations(int_vars, 2):
+        probes.append(compare("eq", _int_value(left), _int_value(right)))
+    for name in int_vars:
+        for value in PROBE_VALUES:
+            probes.append(compare("eq", _int_value(name), value))
+
+    models: list[Model] = []
+    seen = {repr(path.model.to_dict())}
+    for probe in probes:
+        if len(models) >= MAX_BOUNDARY_WITNESSES:
+            break
+        model = solve(literals + [probe], context)
+        if model is None:
+            continue
+        key = repr(model.to_dict())
+        if key in seen:
+            continue
+        # The augmented model must still satisfy the original path.
+        if not model.satisfies(literals):
+            continue
+        seen.add(key)
+        models.append(model)
+    return models

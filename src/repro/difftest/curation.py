@@ -1,0 +1,39 @@
+"""Path curation (paper Section 5.2).
+
+"We semi-automatically curated the list of explored paths keeping only
+those paths that do work in our prototype implementation ... they
+either make our concolic execution to fail, they produce errors on the
+constraint solver, or they require special initializations on the JIT
+compiler we have not implemented."
+
+In this reproduction the curation rules are mechanical:
+
+* paths whose model does not satisfy their own constraints (solver
+  incompleteness) are dropped;
+* paths that exited through a send whose selector could not be resolved
+  to an interned symbol are dropped (they would need send-site
+  initialization the test JIT does not implement);
+* exploration-diverged duplicates were already removed by the explorer.
+"""
+
+from __future__ import annotations
+
+from repro.concolic.explorer import PathResult
+from repro.interpreter.exits import ExitCondition
+
+
+def is_curated_in(path: PathResult) -> bool:
+    """True when the differential tester can run this path."""
+    literals = [constraint.literal for constraint in path.constraints]
+    if not path.model.satisfies(literals):
+        return False
+    if path.exit.condition == ExitCondition.MESSAGE_SEND:
+        selector = path.exit.selector or ""
+        if selector.startswith("selector@"):
+            return False
+    return True
+
+
+def curate_paths(paths) -> list[PathResult]:
+    """Filter to the paths the prototype supports."""
+    return [path for path in paths if is_curated_in(path)]

@@ -1,0 +1,457 @@
+"""The differential execution harness.
+
+One :class:`DifferentialTester` owns a VM world (object memory, symbol
+table, interpreter, concolic explorer artifacts) plus, per back-end, a
+code cache, trampoline table (with the runtime service routines
+registered) and CPU simulator.
+
+For each concolic path the harness:
+
+1. materializes the path's solver model into concrete VM state;
+2. runs the interpreter on it and snapshots the observable effects;
+3. rolls the heap back, compiles the instruction (input operand stack
+   compiled in as pushed literals, per paper Section 4.2), sets up the
+   machine frame per the compiler's convention — receiver/temps in the
+   frame record for byte-codes, receiver+arguments in registers for
+   native methods — and runs the simulator from the same heap state;
+4. compares exits, values and heap effects.
+
+Because both executions start from the *same* heap snapshot and
+allocate deterministically, freshly allocated results land at identical
+addresses and raw oop comparison is exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.bytecode.methods import SymbolTable
+from repro.concolic.explorer import (
+    BytecodeInstructionSpec,
+    NativeMethodSpec,
+    PathResult,
+)
+from repro.concolic.materialize import Materializer
+from repro.concolic.symbolic_memory import SymbolicObjectMemory
+from repro.concolic.values import oop_concrete
+from repro.errors import (
+    CompilerError,
+    NotImplementedInCompiler,
+    SimulationError,
+)
+from repro.interpreter.exits import ExitCondition, ExitResult
+from repro.interpreter.interpreter import Interpreter
+from repro.jit.compiler import (
+    CompilationUnit,
+    NATIVE_FAILURE_MARKER,
+    pc_marker,
+)
+from repro.jit.machine.codecache import CodeCache
+from repro.jit.machine.simulator import (
+    END_SENTINEL,
+    MachineOutcome,
+    MachineSimulator,
+    OutcomeKind,
+    STACK_TOP,
+    TrampolineTable,
+)
+from repro.memory.bootstrap import bootstrap_memory
+from repro.memory.layout import WORD_SIZE
+
+
+class Status(enum.Enum):
+    """Verdict of one path's differential comparison."""
+
+    MATCH = "match"
+    DIFFERENCE = "difference"
+    #: Invalid frame / invalid memory paths: expected failures the test
+    #: runner does not compare (paper Section 3.4).
+    EXPECTED_FAILURE = "expected_failure"
+    #: Paths our prototype cannot run (compile limitations) — the
+    #: paper's curation step.
+    CURATED = "curated"
+
+
+@dataclass
+class ComparisonResult:
+    """The outcome of comparing one path on one compiler/backend."""
+
+    instruction: str
+    kind: str  # "bytecode" | "native"
+    compiler: str
+    backend: str
+    status: Status
+    #: What differed: exit_mismatch | output_mismatch |
+    #: heap_effect_mismatch | machine_fault | compile_missing |
+    #: simulation_error
+    difference_kind: str | None = None
+    interpreter_exit: ExitResult | None = None
+    machine_outcome: MachineOutcome | None = None
+    detail: str = ""
+    path: PathResult | None = None
+
+    @property
+    def is_difference(self) -> bool:
+        return self.status == Status.DIFFERENCE
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.instruction} [{self.compiler}/{self.backend}]",
+            self.status.value,
+        ]
+        if self.difference_kind:
+            parts.append(self.difference_kind)
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+#: Machine frame record: receiver + 16 temps above the operand stack.
+FRAME_WORDS = 1 + 16
+
+
+class DifferentialTester:
+    """Runs interpreter-vs-compiled comparisons for one instruction."""
+
+    def __init__(self, spec, backend, compiler_class) -> None:
+        self.spec = spec
+        self.backend = backend
+        self.memory, self.known = bootstrap_memory(
+            heap_words=8 * 1024, memory_class=SymbolicObjectMemory
+        )
+        self.symbols = SymbolTable(self.memory)
+        self.interpreter = Interpreter(self.memory, self.symbols)
+        self.method = spec.build_method(self.memory, self.symbols)
+        self.code_cache = CodeCache()
+        self.trampolines = TrampolineTable()
+        self._register_services()
+        self.simulator = MachineSimulator(
+            self.memory.heap, self.code_cache, self.trampolines
+        )
+        self.compiler = compiler_class(
+            self.memory, self.trampolines, self.code_cache, backend, self.symbols
+        )
+        from repro.concolic.solver import SolverContext
+
+        self.context = SolverContext.from_memory(self.memory)
+        self._base_heap = self.memory.heap.snapshot()
+
+    # ------------------------------------------------------------------
+    # runtime service routines (Cogit's ceXxx helpers)
+
+    def _register_services(self) -> None:
+        memory = self.memory
+
+        def allocate_float(sim) -> None:
+            sim.set("R0", memory.float_object_of(sim.fget("F0")))
+
+        def new_fixed_instance(sim) -> None:
+            class_index = sim.get("R6")
+            cls = memory.class_table.at(class_index)
+            if cls.is_variable:
+                sim.set("R0", 0)
+                return
+            sim.set("R0", memory.instantiate(cls))
+
+        def new_variable_instance(sim) -> None:
+            class_index = sim.get("R6")
+            size = sim.get("R7")
+            cls = memory.class_table.at(class_index)
+            if not cls.is_variable:
+                sim.set("R0", 0)
+                return
+            sim.set("R0", memory.instantiate(cls, size))
+
+        def make_point(sim) -> None:
+            point_class = memory.class_table.named("Point")
+            point = memory.instantiate(point_class)
+            memory.store_pointer(0, point, sim.get("R0") & 0xFFFFFFFF)
+            memory.store_pointer(1, point, sim.get("R1") & 0xFFFFFFFF)
+            sim.set("R0", point)
+
+        self.trampolines.service("ceAllocateFloat", allocate_float)
+        self.trampolines.service("ceNewFixedInstance", new_fixed_instance)
+        self.trampolines.service("ceNewVariableInstance", new_variable_instance)
+        self.trampolines.service("ceMakePoint", make_point)
+
+    # ------------------------------------------------------------------
+
+    def run_path(self, path: PathResult, model=None) -> ComparisonResult:
+        """Differentially execute one concolic path.
+
+        ``model`` overrides the path's own input model; boundary-witness
+        enrichment passes alternative solutions of the same path
+        condition through here.
+        """
+        result = ComparisonResult(
+            instruction=self.spec.name,
+            kind=self.spec.kind,
+            compiler=self.compiler.name,
+            backend=self.backend.name,
+            status=Status.MATCH,
+            path=path,
+        )
+        memory = self.memory
+        memory.heap.restore(self._base_heap)
+        memory._registry.clear()
+
+        # --- materialize the shared input state -----------------------
+        materializer = Materializer(memory, model if model is not None
+                                    else path.model)
+        frame = materializer.materialize_frame(self.method)
+        input_heap = memory.heap.snapshot()
+        input_stack = [oop_concrete(value) for value in frame.stack]
+        input_temps = [oop_concrete(value) for value in frame.temps]
+        receiver = oop_concrete(frame.receiver)
+
+        # --- interpreter reference execution --------------------------
+        interp_exit = self.spec.execute(self.interpreter, frame)
+        result.interpreter_exit = interp_exit
+        interp_stack = [oop_concrete(value) for value in frame.stack]
+        interp_temps = [
+            oop_concrete(value) if value is not None else None
+            for value in frame.temps
+        ]
+        interp_pc = frame.pc
+        interp_heap_diff = memory.heap.diff(input_heap)
+        interp_returned = (
+            oop_concrete(interp_exit.returned_value)
+            if interp_exit.returned_value is not None
+            else None
+        )
+
+        # --- expected failures are recorded, not compared ---------------
+        # Invalid-frame / invalid-memory exits feed the concolic engine
+        # ("subsequent executions need extra elements") and are expected
+        # failures in the test runner (paper Section 3.4).
+        if interp_exit.condition.is_expected_failure and self.spec.kind != "native":
+            result.status = Status.EXPECTED_FAILURE
+            return result
+        if self.spec.kind == "native" and interp_exit.condition in (
+            ExitCondition.INVALID_FRAME,
+            ExitCondition.NEEDS_GARBAGE_COLLECTION,
+        ):
+            result.status = Status.EXPECTED_FAILURE
+            return result
+
+        # --- compile ----------------------------------------------------
+        memory.heap.restore(input_heap)
+        unit = CompilationUnit(
+            method=self.method,
+            bytecode=getattr(self.spec, "bytecode", None),
+            operands=self._instruction_operands(),
+            native=getattr(self.spec, "native", None),
+            input_stack=tuple(input_stack),
+            sequence=tuple(getattr(self.spec, "sequence", ())),
+        )
+        try:
+            compiled = self.compiler.compile(unit)
+        except NotImplementedInCompiler as error:
+            result.status = Status.DIFFERENCE
+            result.difference_kind = "compile_missing"
+            result.detail = str(error)
+            return result
+        except CompilerError as error:
+            result.status = Status.CURATED
+            result.detail = str(error)
+            return result
+
+        # --- machine execution -----------------------------------------
+        # Compilation may intern trampoline metadata but must not touch
+        # the heap; re-assert the input state for the machine run.
+        memory.heap.restore(input_heap)
+        try:
+            outcome, machine_stack = self._run_machine(
+                compiled, receiver, input_temps
+            )
+        except SimulationError as error:
+            result.status = Status.DIFFERENCE
+            result.difference_kind = "simulation_error"
+            result.detail = str(error)
+            return result
+        result.machine_outcome = outcome
+        machine_heap_diff = memory.heap.diff(input_heap)
+        machine_temps = self._read_machine_temps(len(input_temps))
+
+        # --- compare ----------------------------------------------------
+        self._compare(
+            result,
+            interp_exit,
+            interp_stack,
+            interp_temps,
+            interp_pc,
+            interp_heap_diff,
+            interp_returned,
+            outcome,
+            machine_stack,
+            machine_temps,
+            machine_heap_diff,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _instruction_operands(self) -> tuple:
+        bytecode = getattr(self.spec, "bytecode", None)
+        if bytecode is None:
+            return ()
+        code = self.method.bytecodes
+        return tuple(code[1:bytecode.size])
+
+    def _run_machine(self, compiled, receiver: int, temps: list):
+        sim = self.simulator
+        sim.reset()
+        # Build the frame record at the top of the machine stack.
+        frame_base = STACK_TOP - FRAME_WORDS * WORD_SIZE
+        sim.set("FP", frame_base)
+        sim.set("SP", frame_base)
+        sim.write_word(frame_base, receiver)
+        for index in range(16):
+            value = temps[index] if index < len(temps) else self.memory.nil_object
+            sim.write_word(frame_base + WORD_SIZE * (1 + index), value)
+        sim._push(END_SENTINEL)
+        operand_base = sim.get("SP")
+        if self.spec.kind == "native":
+            # Native calling convention: receiver + args in registers.
+            native = self.spec.native
+            argc = native.argument_count
+            # Receiver at stack depth argc, arguments above it.
+            stack = compiled.unit.input_stack
+            values = list(stack[-(argc + 1):]) if argc + 1 <= len(stack) else (
+                [self.memory.nil_object] * (argc + 1 - len(stack)) + list(stack)
+            )
+            sim.set("R0", values[0] if values else self.memory.nil_object)
+            for index, reg in enumerate(("R1", "R2", "R3", "R4")):
+                if index + 1 < len(values):
+                    sim.set(reg, values[index + 1])
+        outcome = sim.run(compiled.entry)
+        final_sp = sim.get("SP")
+        count = max(0, (operand_base - final_sp) // WORD_SIZE)
+        machine_stack = [
+            sim.read_word(final_sp + offset * WORD_SIZE)
+            for offset in range(count)
+        ]
+        machine_stack.reverse()  # bottom to top
+        return outcome, machine_stack
+
+    def _read_machine_temps(self, count: int) -> list:
+        frame_base = STACK_TOP - FRAME_WORDS * WORD_SIZE
+        return [
+            self.simulator.read_word(frame_base + WORD_SIZE * (1 + index))
+            for index in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _compare(
+        self,
+        result,
+        interp_exit,
+        interp_stack,
+        interp_temps,
+        interp_pc,
+        interp_heap_diff,
+        interp_returned,
+        outcome,
+        machine_stack,
+        machine_temps,
+        machine_heap_diff,
+    ) -> None:
+        def differ(kind: str, detail: str) -> None:
+            result.status = Status.DIFFERENCE
+            result.difference_kind = kind
+            result.detail = detail
+
+        if outcome.kind == OutcomeKind.FAULT:
+            differ("machine_fault", outcome.fault_reason or "fault")
+            return
+        if outcome.kind == OutcomeKind.DIVERGED:
+            differ("machine_fault", "compiled code diverged")
+            return
+
+        condition = interp_exit.condition
+        if self.spec.kind == "native":
+            if condition == ExitCondition.SUCCESS:
+                if outcome.kind != OutcomeKind.RETURNED:
+                    differ("exit_mismatch",
+                           f"interpreter succeeded, machine {outcome.describe()}")
+                    return
+                expected = interp_stack[-1] if interp_stack else None
+                if expected is not None and outcome.result & 0xFFFFFFFF != (
+                    expected & 0xFFFFFFFF
+                ):
+                    differ("output_mismatch",
+                           f"result {outcome.result:#x} != {expected:#x}")
+                    return
+            elif condition == ExitCondition.FAILURE:
+                if not (
+                    outcome.kind == OutcomeKind.STOPPED
+                    and outcome.marker == NATIVE_FAILURE_MARKER
+                ):
+                    differ("exit_mismatch",
+                           f"interpreter failed, machine {outcome.describe()}")
+                    return
+            elif condition == ExitCondition.INVALID_MEMORY_ACCESS:
+                # Errors for native methods by definition (Section 3.4);
+                # they indicate an unsafe native method.
+                differ("exit_mismatch", "native method made an invalid access")
+                return
+            else:
+                differ("exit_mismatch", f"unexpected native exit {condition}")
+                return
+        else:  # bytecode
+            if condition == ExitCondition.SUCCESS:
+                if outcome.kind != OutcomeKind.STOPPED:
+                    differ("exit_mismatch",
+                           f"interpreter succeeded, machine {outcome.describe()}")
+                    return
+                if outcome.marker != pc_marker(interp_pc):
+                    differ("output_mismatch",
+                           f"fell through at marker {outcome.marker}, "
+                           f"interpreter pc {interp_pc}")
+                    return
+                if machine_stack != interp_stack:
+                    differ("output_mismatch",
+                           f"stacks differ: {machine_stack} != {interp_stack}")
+                    return
+                for index, interp_value in enumerate(interp_temps):
+                    if interp_value is None:
+                        continue
+                    if machine_temps[index] != interp_value:
+                        differ("output_mismatch", f"temp {index} differs")
+                        return
+            elif condition == ExitCondition.MESSAGE_SEND:
+                expected = f"send:{interp_exit.selector}/{interp_exit.argument_count}"
+                if outcome.kind != OutcomeKind.TRAMPOLINE:
+                    differ("exit_mismatch",
+                           f"interpreter sends {expected}, machine "
+                           f"{outcome.describe()}")
+                    return
+                if outcome.trampoline != expected:
+                    differ("exit_mismatch",
+                           f"trampoline {outcome.trampoline} != {expected}")
+                    return
+                if machine_stack != interp_stack:
+                    differ("output_mismatch", "send operands differ")
+                    return
+            elif condition == ExitCondition.METHOD_RETURN:
+                if outcome.kind != OutcomeKind.RETURNED:
+                    differ("exit_mismatch",
+                           f"interpreter returns, machine {outcome.describe()}")
+                    return
+                if interp_returned is not None and (
+                    outcome.result & 0xFFFFFFFF
+                ) != (interp_returned & 0xFFFFFFFF):
+                    differ("output_mismatch", "returned values differ")
+                    return
+            else:
+                differ("exit_mismatch", f"unexpected bytecode exit {condition}")
+                return
+
+        if interp_heap_diff != machine_heap_diff:
+            differ(
+                "heap_effect_mismatch",
+                f"{len(interp_heap_diff)} interpreter writes vs "
+                f"{len(machine_heap_diff)} machine writes",
+            )

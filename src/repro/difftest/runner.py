@@ -1,0 +1,247 @@
+"""Campaign driver: explore, curate, differentially test, aggregate.
+
+Reproduces the paper's evaluation methodology (Section 5.1): four main
+experiments — the native-method template compiler plus the three
+byte-code compilers — with every test-case scenario executed on two
+architectures (x86 and ARM32).
+
+The concolic exploration of each instruction is performed once and its
+paths are reused across compilers and back-ends, matching the paper's
+note that "the results of the concolic exploration can be cached and
+reused multiple times".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bytecode.opcodes import testable_bytecodes
+from repro.concolic.explorer import (
+    BytecodeInstructionSpec,
+    ConcolicExplorer,
+    ExplorationResult,
+    NativeMethodSpec,
+)
+from repro.difftest.curation import curate_paths
+from repro.difftest.harness import ComparisonResult, DifferentialTester
+from repro.interpreter.primitives import testable_primitives
+from repro.jit.machine.arm32 import Arm32Backend
+from repro.jit.machine.x86 import X86Backend
+from repro.jit.native_templates import NativeMethodCompiler
+from repro.jit.register_allocating import RegisterAllocatingCogit
+from repro.jit.simple_stack import SimpleStackBasedCogit
+from repro.jit.stack_to_register import StackToRegisterCogit
+
+BYTECODE_COMPILERS = (
+    SimpleStackBasedCogit,
+    StackToRegisterCogit,
+    RegisterAllocatingCogit,
+)
+BACKENDS = (X86Backend, Arm32Backend)
+
+
+@dataclass
+class InstructionTestResult:
+    """All comparisons for one instruction on one compiler."""
+
+    instruction: str
+    kind: str
+    compiler: str
+    exploration: ExplorationResult
+    curated_path_count: int = 0
+    comparisons: list = field(default_factory=list)
+    test_seconds: float = 0.0
+
+    @property
+    def differing_paths(self) -> int:
+        """Paths that differ on at least one backend."""
+        by_path: dict[int, bool] = {}
+        for comparison in self.comparisons:
+            key = id(comparison.path)
+            by_path[key] = by_path.get(key, False) or comparison.is_difference
+        return sum(1 for differs in by_path.values() if differs)
+
+    def differences(self) -> list:
+        return [c for c in self.comparisons if c.is_difference]
+
+
+@dataclass
+class CompilerReport:
+    """One row of the paper's Table 2."""
+
+    compiler: str
+    tested_instructions: int = 0
+    interpreter_paths: int = 0
+    curated_paths: int = 0
+    differing_paths: int = 0
+    results: list = field(default_factory=list)
+
+    @property
+    def difference_percentage(self) -> float:
+        if not self.curated_paths:
+            return 0.0
+        return 100.0 * self.differing_paths / self.curated_paths
+
+    def row(self) -> tuple:
+        return (
+            self.compiler,
+            self.tested_instructions,
+            self.interpreter_paths,
+            self.curated_paths,
+            f"{self.differing_paths} ({self.difference_percentage:.2f}%)",
+        )
+
+
+@dataclass
+class CampaignConfig:
+    """Scope controls for a campaign run."""
+
+    #: Limit instruction counts (None = all); used by tests/benchmarks.
+    max_bytecodes: int | None = None
+    max_natives: int | None = None
+    backends: tuple = BACKENDS
+    max_paths_per_instruction: int = 64
+    max_iterations: int = 200
+    #: Run extra boundary witnesses per path (extension beyond the
+    #: paper; see repro.difftest.boundary).
+    boundary_witnesses: bool = False
+
+
+def explore_instruction(spec, config: CampaignConfig) -> ExplorationResult:
+    explorer = ConcolicExplorer(
+        spec,
+        max_iterations=config.max_iterations,
+        max_paths=config.max_paths_per_instruction,
+    )
+    return explorer.explore()
+
+
+def test_instruction(
+    spec,
+    compiler_class,
+    config: CampaignConfig | None = None,
+    exploration: ExplorationResult | None = None,
+) -> InstructionTestResult:
+    """Explore (or reuse an exploration) and differentially test."""
+    config = config or CampaignConfig()
+    if exploration is None:
+        exploration = explore_instruction(spec, config)
+    curated = curate_paths(exploration.paths)
+    result = InstructionTestResult(
+        instruction=spec.name,
+        kind=spec.kind,
+        compiler=compiler_class.name,
+        exploration=exploration,
+        curated_path_count=len(curated),
+    )
+    start = time.perf_counter()
+    for backend_class in config.backends:
+        tester = DifferentialTester(spec, backend_class(), compiler_class)
+        for path in curated:
+            result.comparisons.append(tester.run_path(path))
+            if config.boundary_witnesses:
+                from repro.difftest.boundary import boundary_models
+
+                for model in boundary_models(path, tester.context):
+                    result.comparisons.append(tester.run_path(path, model))
+    result.test_seconds = time.perf_counter() - start
+    return result
+
+
+def bytecode_specs(config: CampaignConfig) -> list:
+    bytecodes = testable_bytecodes()
+    if config.max_bytecodes is not None:
+        bytecodes = bytecodes[: config.max_bytecodes]
+    return [BytecodeInstructionSpec(bytecode) for bytecode in bytecodes]
+
+
+def native_specs(config: CampaignConfig) -> list:
+    natives = testable_primitives()
+    if config.max_natives is not None:
+        natives = natives[: config.max_natives]
+    return [NativeMethodSpec(native) for native in natives]
+
+
+def run_campaign(config: CampaignConfig | None = None) -> list[CompilerReport]:
+    """The full four-experiment evaluation (paper Table 2).
+
+    Returns one report per compiler: native methods first, then the
+    three byte-code compilers, mirroring the paper's table rows.
+    """
+    config = config or CampaignConfig()
+    reports: list[CompilerReport] = []
+
+    natives = native_specs(config)
+    native_explorations = {
+        spec.name: explore_instruction(spec, config) for spec in natives
+    }
+    report = CompilerReport(compiler="Native Methods (primitives)")
+    for spec in natives:
+        result = test_instruction(
+            spec, NativeMethodCompiler, config, native_explorations[spec.name]
+        )
+        _accumulate(report, result)
+    reports.append(report)
+
+    bytecodes = bytecode_specs(config)
+    bytecode_explorations = {
+        spec.name: explore_instruction(spec, config) for spec in bytecodes
+    }
+    for compiler_class in BYTECODE_COMPILERS:
+        report = CompilerReport(compiler=compiler_class.name)
+        for spec in bytecodes:
+            result = test_instruction(
+                spec, compiler_class, config, bytecode_explorations[spec.name]
+            )
+            _accumulate(report, result)
+        reports.append(report)
+    return reports
+
+
+def run_sequence_campaign(
+    config: CampaignConfig | None = None,
+) -> list[CompilerReport]:
+    """Extension experiment: the byte-code *sequence* corpus.
+
+    Runs the curated interesting sequences plus the generated minimal
+    producer/consumer pairs through the three byte-code compilers —
+    the paper's future work (Section 7) as a campaign of its own.
+    """
+    from repro.concolic.sequences import (
+        generate_pair_sequences,
+        interesting_sequences,
+    )
+
+    config = config or CampaignConfig()
+    specs = interesting_sequences() + generate_pair_sequences()
+    explorations = {
+        spec.name: explore_instruction(spec, config) for spec in specs
+    }
+    reports = []
+    for compiler_class in BYTECODE_COMPILERS:
+        report = CompilerReport(compiler=f"{compiler_class.name} (sequences)")
+        for spec in specs:
+            result = test_instruction(
+                spec, compiler_class, config, explorations[spec.name]
+            )
+            _accumulate(report, result)
+        reports.append(report)
+    return reports
+
+
+def _accumulate(report: CompilerReport, result: InstructionTestResult) -> None:
+    report.tested_instructions += 1
+    report.interpreter_paths += result.exploration.path_count
+    report.curated_paths += result.curated_path_count
+    report.differing_paths += result.differing_paths
+    report.results.append(result)
+
+
+def all_comparisons(reports) -> list[ComparisonResult]:
+    return [
+        comparison
+        for report in reports
+        for result in report.results
+        for comparison in result.comparisons
+    ]

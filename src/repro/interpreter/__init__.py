@@ -1,0 +1,33 @@
+"""The byte-code interpreter: the VM's executable specification.
+
+The paper's core insight is that the interpreter *is* the language
+specification and can therefore drive test generation for the JIT
+compilers.  Everything in this package is written against the
+:class:`~repro.memory.object_memory.ObjectMemory` protocol and the
+:class:`~repro.interpreter.frame.Frame` protocol, so the concolic engine
+can substitute constraint-recording implementations and execute this
+exact code symbolically.
+"""
+
+from repro.interpreter.exits import ExitCondition, ExitResult
+from repro.interpreter.frame import Frame
+from repro.interpreter.interpreter import Interpreter
+from repro.interpreter.primitives import (
+    NativeMethod,
+    PRIMITIVE_TABLE,
+    primitive_named,
+    testable_primitives,
+)
+# Importing registers the FFI primitive family in PRIMITIVE_TABLE.
+from repro.interpreter import ffi_primitives  # noqa: F401
+
+__all__ = [
+    "ExitCondition",
+    "ExitResult",
+    "Frame",
+    "Interpreter",
+    "NativeMethod",
+    "PRIMITIVE_TABLE",
+    "primitive_named",
+    "testable_primitives",
+]

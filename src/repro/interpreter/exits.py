@@ -1,0 +1,107 @@
+"""Instruction exit conditions (paper Section 3.4).
+
+An exit condition models *how* an instruction's execution finished.
+Tracking it is what lets the differential tester check behavioural
+equivalence between interpreted and compiled code: a compiled byte-code
+must fall through on Success, call a trampoline on Message Send, return
+on Method Return; a compiled native method must return to the caller on
+Success and fall through to the user-defined body on Failure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ExitCondition(enum.Enum):
+    """The six exit conditions the paper's execution model tracks."""
+
+    #: Correct execution of the instruction until its end.
+    SUCCESS = "success"
+    #: A safe native method detected invalid operands and failed.
+    FAILURE = "failure"
+    #: Execution leaves the instruction through a message send
+    #: (main path or optimized slow path).
+    MESSAGE_SEND = "message_send"
+    #: Execution returns to the caller.
+    METHOD_RETURN = "method_return"
+    #: A frame slot that does not exist was touched — an *expected
+    #: failure* telling the concolic engine to grow the stack.
+    INVALID_FRAME = "invalid_frame"
+    #: An out-of-bounds object access — expected failure for unsafe
+    #: byte-codes, a genuine error for safe native methods.
+    INVALID_MEMORY_ACCESS = "invalid_memory_access"
+    #: An allocation did not fit the remaining heap: execution would
+    #: activate the garbage collector.  The paper lists this as the
+    #: canonical example of an *additional* exit condition its model
+    #: can be extended with (Section 3.4); we implement it so that
+    #: allocation-heavy paths are classified instead of crashing the
+    #: exploration.
+    NEEDS_GARBAGE_COLLECTION = "needs_garbage_collection"
+
+    @property
+    def is_expected_failure(self) -> bool:
+        """Exits the test runner treats as expected rather than failures."""
+        return self in (
+            ExitCondition.INVALID_FRAME,
+            ExitCondition.INVALID_MEMORY_ACCESS,
+            ExitCondition.NEEDS_GARBAGE_COLLECTION,
+        )
+
+
+@dataclass(frozen=True)
+class ExitResult:
+    """How one instruction execution finished, with its payload.
+
+    ``selector``/``argument_count`` are set for MESSAGE_SEND exits,
+    ``returned_value`` for METHOD_RETURN exits, and ``detail`` carries
+    free-form diagnostic context (e.g. the failing address).
+    """
+
+    condition: ExitCondition
+    selector: str | None = None
+    argument_count: int | None = None
+    returned_value: object | None = None
+    detail: str | None = None
+
+    @classmethod
+    def success(cls) -> "ExitResult":
+        return cls(ExitCondition.SUCCESS)
+
+    @classmethod
+    def failure(cls, detail: str | None = None) -> "ExitResult":
+        return cls(ExitCondition.FAILURE, detail=detail)
+
+    @classmethod
+    def message_send(cls, selector: str, argument_count: int) -> "ExitResult":
+        return cls(
+            ExitCondition.MESSAGE_SEND,
+            selector=selector,
+            argument_count=argument_count,
+        )
+
+    @classmethod
+    def method_return(cls, value: object) -> "ExitResult":
+        return cls(ExitCondition.METHOD_RETURN, returned_value=value)
+
+    @classmethod
+    def invalid_frame(cls, detail: str) -> "ExitResult":
+        return cls(ExitCondition.INVALID_FRAME, detail=detail)
+
+    @classmethod
+    def invalid_memory_access(cls, detail: str) -> "ExitResult":
+        return cls(ExitCondition.INVALID_MEMORY_ACCESS, detail=detail)
+
+    @classmethod
+    def needs_garbage_collection(cls, detail: str) -> "ExitResult":
+        return cls(ExitCondition.NEEDS_GARBAGE_COLLECTION, detail=detail)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for reports."""
+        parts = [self.condition.value]
+        if self.selector is not None:
+            parts.append(f"send:{self.selector}/{self.argument_count}")
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)

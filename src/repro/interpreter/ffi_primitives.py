@@ -1,0 +1,463 @@
+"""FFI acceleration primitives: external memory and struct accessors.
+
+The paper found that "several native methods introduced to accelerate FFI
+(Foreign Function Interface) memory and structure accesses were never
+implemented in the 32 bit compiler version" — the *Missing Functionality*
+defect family, by far the largest (60 of 91 causes).
+
+This module reproduces that situation: every primitive here is fully
+implemented in the interpreter, while the 32-bit native-method compiler
+(:mod:`repro.jit.native_templates`) has no template for any of them and
+raises :class:`~repro.errors.NotImplementedInCompiler`.
+
+External memory is simulated: an ``ExternalAddress`` object is a raw
+WORDS-format heap object whose slots are the foreign buffer, addressed by
+*byte offset* from 0.  Accesses must be aligned to their width, widths of
+1/2/4 bytes pack into 32-bit words little-endian, and 8-byte accesses use
+two consecutive words.  This preserves the relevant behaviour — type and
+bounds checks, signedness, width handling — without real foreign memory.
+"""
+
+from __future__ import annotations
+
+import math
+import struct as _struct
+
+from repro.interpreter.exits import ExitResult
+from repro.interpreter.primitives import _fail, primitive
+from repro.memory.layout import ObjectFormat
+
+
+def _is_external_address(memory, oop) -> bool:
+    if memory.is_integer_object(oop):
+        return False
+    external = memory.class_table.named("ExternalAddress")
+    return memory.class_index_of(oop) == external.index
+
+
+def _buffer_byte_size(memory, oop) -> int:
+    return memory.num_slots_of(oop) * 4
+
+
+def _read_packed(memory, oop, byte_offset: int, width: int) -> int:
+    """Read an aligned little-endian field of *width* bytes (1/2/4)."""
+    word = memory.fetch_pointer(byte_offset // 4, oop)
+    shift = (byte_offset % 4) * 8
+    mask = (1 << (width * 8)) - 1
+    return (word >> shift) & mask
+
+def _write_packed(memory, oop, byte_offset: int, width: int, value: int) -> None:
+    index = byte_offset // 4
+    word = memory.fetch_pointer(index, oop)
+    shift = (byte_offset % 4) * 8
+    mask = ((1 << (width * 8)) - 1) << shift
+    word = (word & ~mask) | ((value << shift) & mask)
+    memory.store_pointer(index, oop, word)
+
+
+def _to_signed(value: int, bits: int) -> int:
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _ffi_read(width: int, signed: bool):
+    """Build an aligned integer-read primitive body for *width* bytes."""
+
+    def body(interp, frame, argc):
+        memory = interp.memory
+        rcvr = frame.stack_value(1)
+        arg = frame.stack_value(0)
+        if not _is_external_address(memory, rcvr):
+            return _fail("receiver must be an ExternalAddress")
+        if not memory.is_integer_object(arg):
+            return _fail("offset must be a SmallInteger")
+        offset = memory.integer_value_of(arg)
+        if offset < 0 or offset % width != 0:
+            return _fail("offset must be aligned and non-negative")
+        if offset + width > _buffer_byte_size(memory, rcvr):
+            return _fail("read past end of external memory")
+        if width == 8:
+            low = memory.fetch_pointer(offset // 4, rcvr)
+            high = memory.fetch_pointer(offset // 4 + 1, rcvr)
+            raw = (high << 32) | low
+            bits = 64
+        else:
+            raw = _read_packed(memory, rcvr, offset, width)
+            bits = width * 8
+        value = _to_signed(raw, bits) if signed else raw
+        if not memory.is_integer_value(value):
+            return _fail("value does not fit a SmallInteger")
+        frame.pop_then_push(2, memory.integer_object_of(value))
+        return ExitResult.success()
+
+    return body
+
+
+def _ffi_write(width: int, signed: bool):
+    def body(interp, frame, argc):
+        memory = interp.memory
+        rcvr = frame.stack_value(2)
+        offset_oop = frame.stack_value(1)
+        value_oop = frame.stack_value(0)
+        if not _is_external_address(memory, rcvr):
+            return _fail("receiver must be an ExternalAddress")
+        if not memory.is_integer_object(offset_oop):
+            return _fail("offset must be a SmallInteger")
+        if not memory.is_integer_object(value_oop):
+            return _fail("value must be a SmallInteger")
+        offset = memory.integer_value_of(offset_oop)
+        value = memory.integer_value_of(value_oop)
+        if offset < 0 or offset % width != 0:
+            return _fail("offset must be aligned and non-negative")
+        if offset + width > _buffer_byte_size(memory, rcvr):
+            return _fail("write past end of external memory")
+        bits = width * 8
+        if signed:
+            limit = 1 << (bits - 1)
+            if not -limit <= value < limit:
+                return _fail("value out of range for field width")
+        else:
+            if not 0 <= value < (1 << bits):
+                return _fail("value out of range for field width")
+        raw = value & ((1 << bits) - 1)
+        if width == 8:
+            memory.store_pointer(offset // 4, rcvr, raw & 0xFFFFFFFF)
+            memory.store_pointer(offset // 4 + 1, rcvr, raw >> 32)
+        else:
+            _write_packed(memory, rcvr, offset, width, raw)
+        frame.pop_then_push(3, value_oop)
+        return ExitResult.success()
+
+    return body
+
+
+# Integer reads/writes, every width, both signednesses (indices 120-135).
+primitive(120, "primitiveFFIReadInt8", 1, "ffi")(_ffi_read(1, signed=True))
+primitive(121, "primitiveFFIReadUint8", 1, "ffi")(_ffi_read(1, signed=False))
+primitive(122, "primitiveFFIReadInt16", 1, "ffi")(_ffi_read(2, signed=True))
+primitive(123, "primitiveFFIReadUint16", 1, "ffi")(_ffi_read(2, signed=False))
+primitive(124, "primitiveFFIReadInt32", 1, "ffi")(_ffi_read(4, signed=True))
+primitive(125, "primitiveFFIReadUint32", 1, "ffi")(_ffi_read(4, signed=False))
+primitive(126, "primitiveFFIReadInt64", 1, "ffi")(_ffi_read(8, signed=True))
+primitive(127, "primitiveFFIReadUint64", 1, "ffi")(_ffi_read(8, signed=False))
+primitive(128, "primitiveFFIWriteInt8", 2, "ffi")(_ffi_write(1, signed=True))
+primitive(129, "primitiveFFIWriteUint8", 2, "ffi")(_ffi_write(1, signed=False))
+primitive(130, "primitiveFFIWriteInt16", 2, "ffi")(_ffi_write(2, signed=True))
+primitive(131, "primitiveFFIWriteUint16", 2, "ffi")(_ffi_write(2, signed=False))
+primitive(132, "primitiveFFIWriteInt32", 2, "ffi")(_ffi_write(4, signed=True))
+primitive(133, "primitiveFFIWriteUint32", 2, "ffi")(_ffi_write(4, signed=False))
+primitive(134, "primitiveFFIWriteInt64", 2, "ffi")(_ffi_write(8, signed=True))
+primitive(135, "primitiveFFIWriteUint64", 2, "ffi")(_ffi_write(8, signed=False))
+
+
+@primitive(136, "primitiveFFIReadFloat32", 1, "ffi")
+def primitive_ffi_read_float32(interp, frame, argc):
+    memory = interp.memory
+    rcvr = frame.stack_value(1)
+    arg = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(arg):
+        return _fail("offset must be a SmallInteger")
+    offset = memory.integer_value_of(arg)
+    if offset < 0 or offset % 4 != 0:
+        return _fail("offset must be 4-byte aligned")
+    if offset + 4 > _buffer_byte_size(memory, rcvr):
+        return _fail("read past end of external memory")
+    raw = memory.fetch_pointer(offset // 4, rcvr)
+    value = _struct.unpack("<f", _struct.pack("<I", raw))[0]
+    frame.pop_then_push(2, memory.float_object_of(value))
+    return ExitResult.success()
+
+
+@primitive(137, "primitiveFFIReadFloat64", 1, "ffi")
+def primitive_ffi_read_float64(interp, frame, argc):
+    memory = interp.memory
+    rcvr = frame.stack_value(1)
+    arg = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(arg):
+        return _fail("offset must be a SmallInteger")
+    offset = memory.integer_value_of(arg)
+    if offset < 0 or offset % 8 != 0:
+        return _fail("offset must be 8-byte aligned")
+    if offset + 8 > _buffer_byte_size(memory, rcvr):
+        return _fail("read past end of external memory")
+    low = memory.fetch_pointer(offset // 4, rcvr)
+    high = memory.fetch_pointer(offset // 4 + 1, rcvr)
+    value = _struct.unpack("<d", _struct.pack("<Q", (high << 32) | low))[0]
+    frame.pop_then_push(2, memory.float_object_of(value))
+    return ExitResult.success()
+
+
+@primitive(138, "primitiveFFIWriteFloat32", 2, "ffi")
+def primitive_ffi_write_float32(interp, frame, argc):
+    memory = interp.memory
+    rcvr = frame.stack_value(2)
+    offset_oop = frame.stack_value(1)
+    value_oop = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(offset_oop):
+        return _fail("offset must be a SmallInteger")
+    if not memory.is_float_object(value_oop):
+        return _fail("value must be a Float")
+    offset = memory.integer_value_of(offset_oop)
+    if offset < 0 or offset % 4 != 0:
+        return _fail("offset must be 4-byte aligned")
+    if offset + 4 > _buffer_byte_size(memory, rcvr):
+        return _fail("write past end of external memory")
+    value = memory.float_value_of(value_oop)
+    if math.isfinite(value) and abs(value) > 3.4e38:
+        return _fail("value out of float32 range")
+    raw = _struct.unpack("<I", _struct.pack("<f", value))[0]
+    memory.store_pointer(offset // 4, rcvr, raw)
+    frame.pop_then_push(3, value_oop)
+    return ExitResult.success()
+
+
+@primitive(139, "primitiveFFIWriteFloat64", 2, "ffi")
+def primitive_ffi_write_float64(interp, frame, argc):
+    memory = interp.memory
+    rcvr = frame.stack_value(2)
+    offset_oop = frame.stack_value(1)
+    value_oop = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(offset_oop):
+        return _fail("offset must be a SmallInteger")
+    if not memory.is_float_object(value_oop):
+        return _fail("value must be a Float")
+    offset = memory.integer_value_of(offset_oop)
+    if offset < 0 or offset % 8 != 0:
+        return _fail("offset must be 8-byte aligned")
+    if offset + 8 > _buffer_byte_size(memory, rcvr):
+        return _fail("write past end of external memory")
+    raw = _struct.unpack("<Q", _struct.pack("<d", memory.float_value_of(value_oop)))[0]
+    memory.store_pointer(offset // 4, rcvr, raw & 0xFFFFFFFF)
+    memory.store_pointer(offset // 4 + 1, rcvr, raw >> 32)
+    frame.pop_then_push(3, value_oop)
+    return ExitResult.success()
+
+
+@primitive(140, "primitiveFFIByteSize", 0, "ffi")
+def primitive_ffi_byte_size(interp, frame, argc):
+    memory = interp.memory
+    rcvr = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    frame.pop_then_push(1, memory.integer_object_of(_buffer_byte_size(memory, rcvr)))
+    return ExitResult.success()
+
+
+@primitive(141, "primitiveFFIAllocate", 0, "ffi")
+def primitive_ffi_allocate(interp, frame, argc):
+    """Allocate external memory: receiver is the byte size."""
+    memory = interp.memory
+    rcvr = frame.stack_value(0)
+    if not memory.is_integer_object(rcvr):
+        return _fail("size must be a SmallInteger")
+    size = memory.integer_value_of(rcvr)
+    if size <= 0 or size > 4096:
+        return _fail("size out of range")
+    external = memory.class_table.named("ExternalAddress")
+    words = (size + 3) // 4
+    frame.pop_then_push(1, memory.instantiate(external, words))
+    return ExitResult.success()
+
+
+@primitive(142, "primitiveFFIFill", 2, "ffi")
+def primitive_ffi_fill(interp, frame, argc):
+    """Fill the whole buffer with a byte value (memset)."""
+    memory = interp.memory
+    rcvr = frame.stack_value(2)
+    byte_oop = frame.stack_value(1)
+    count_oop = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(byte_oop):
+        return _fail("fill byte must be a SmallInteger")
+    if not memory.is_integer_object(count_oop):
+        return _fail("count must be a SmallInteger")
+    byte = memory.integer_value_of(byte_oop)
+    count = memory.integer_value_of(count_oop)
+    if byte < 0 or byte > 255:
+        return _fail("fill byte out of range")
+    if count < 0 or count > _buffer_byte_size(memory, rcvr):
+        return _fail("count out of range")
+    for offset in range(count):
+        _write_packed(memory, rcvr, offset, 1, byte)
+    frame.pop_then_push(3, rcvr)
+    return ExitResult.success()
+
+
+@primitive(143, "primitiveFFICopyBytes", 2, "ffi")
+def primitive_ffi_copy_bytes(interp, frame, argc):
+    """Copy *count* bytes from another external buffer (memcpy)."""
+    memory = interp.memory
+    rcvr = frame.stack_value(2)
+    source = frame.stack_value(1)
+    count_oop = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not _is_external_address(memory, source):
+        return _fail("source must be an ExternalAddress")
+    if not memory.is_integer_object(count_oop):
+        return _fail("count must be a SmallInteger")
+    count = memory.integer_value_of(count_oop)
+    if count < 0:
+        return _fail("count must be non-negative")
+    if count > _buffer_byte_size(memory, rcvr):
+        return _fail("count exceeds destination")
+    if count > _buffer_byte_size(memory, source):
+        return _fail("count exceeds source")
+    for offset in range(count):
+        _write_packed(
+            memory, rcvr, offset, 1, _read_packed(memory, source, offset, 1)
+        )
+    frame.pop_then_push(3, rcvr)
+    return ExitResult.success()
+
+
+def _struct_field_read(width: int, signed: bool):
+    """Struct accessor: field read by (1-based) field index of *width*."""
+
+    def body(interp, frame, argc):
+        memory = interp.memory
+        rcvr = frame.stack_value(1)
+        arg = frame.stack_value(0)
+        if not _is_external_address(memory, rcvr):
+            return _fail("receiver must be an ExternalAddress")
+        if not memory.is_integer_object(arg):
+            return _fail("field index must be a SmallInteger")
+        field = memory.integer_value_of(arg)
+        if field < 1:
+            return _fail("field index must be positive")
+        offset = (field - 1) * width
+        if offset + width > _buffer_byte_size(memory, rcvr):
+            return _fail("field outside struct")
+        if width == 8:
+            low = memory.fetch_pointer(offset // 4, rcvr)
+            high = memory.fetch_pointer(offset // 4 + 1, rcvr)
+            raw, bits = (high << 32) | low, 64
+        else:
+            raw, bits = _read_packed(memory, rcvr, offset, width), width * 8
+        value = _to_signed(raw, bits) if signed else raw
+        if not memory.is_integer_value(value):
+            return _fail("value does not fit a SmallInteger")
+        frame.pop_then_push(2, memory.integer_object_of(value))
+        return ExitResult.success()
+
+    return body
+
+
+def _struct_field_write(width: int, signed: bool):
+    def body(interp, frame, argc):
+        memory = interp.memory
+        rcvr = frame.stack_value(2)
+        field_oop = frame.stack_value(1)
+        value_oop = frame.stack_value(0)
+        if not _is_external_address(memory, rcvr):
+            return _fail("receiver must be an ExternalAddress")
+        if not memory.is_integer_object(field_oop):
+            return _fail("field index must be a SmallInteger")
+        if not memory.is_integer_object(value_oop):
+            return _fail("value must be a SmallInteger")
+        field = memory.integer_value_of(field_oop)
+        value = memory.integer_value_of(value_oop)
+        if field < 1:
+            return _fail("field index must be positive")
+        offset = (field - 1) * width
+        if offset + width > _buffer_byte_size(memory, rcvr):
+            return _fail("field outside struct")
+        bits = width * 8
+        if signed:
+            limit = 1 << (bits - 1)
+            if not -limit <= value < limit:
+                return _fail("value out of range for field width")
+        elif not 0 <= value < (1 << bits):
+            return _fail("value out of range for field width")
+        raw = value & ((1 << bits) - 1)
+        if width == 8:
+            memory.store_pointer(offset // 4, rcvr, raw & 0xFFFFFFFF)
+            memory.store_pointer(offset // 4 + 1, rcvr, raw >> 32)
+        else:
+            _write_packed(memory, rcvr, offset, width, raw)
+        frame.pop_then_push(3, value_oop)
+        return ExitResult.success()
+
+    return body
+
+
+# Struct field accessors (indices 144-159).
+primitive(144, "primitiveFFIStructInt8At", 1, "ffi")(_struct_field_read(1, True))
+primitive(145, "primitiveFFIStructUint8At", 1, "ffi")(_struct_field_read(1, False))
+primitive(146, "primitiveFFIStructInt16At", 1, "ffi")(_struct_field_read(2, True))
+primitive(147, "primitiveFFIStructUint16At", 1, "ffi")(_struct_field_read(2, False))
+primitive(148, "primitiveFFIStructInt32At", 1, "ffi")(_struct_field_read(4, True))
+primitive(149, "primitiveFFIStructUint32At", 1, "ffi")(_struct_field_read(4, False))
+primitive(150, "primitiveFFIStructInt64At", 1, "ffi")(_struct_field_read(8, True))
+primitive(151, "primitiveFFIStructUint64At", 1, "ffi")(_struct_field_read(8, False))
+primitive(152, "primitiveFFIStructInt8AtPut", 2, "ffi")(_struct_field_write(1, True))
+primitive(153, "primitiveFFIStructUint8AtPut", 2, "ffi")(_struct_field_write(1, False))
+primitive(154, "primitiveFFIStructInt16AtPut", 2, "ffi")(_struct_field_write(2, True))
+primitive(155, "primitiveFFIStructUint16AtPut", 2, "ffi")(
+    _struct_field_write(2, False)
+)
+primitive(156, "primitiveFFIStructInt32AtPut", 2, "ffi")(_struct_field_write(4, True))
+primitive(157, "primitiveFFIStructUint32AtPut", 2, "ffi")(
+    _struct_field_write(4, False)
+)
+primitive(158, "primitiveFFIStructInt64AtPut", 2, "ffi")(_struct_field_write(8, True))
+primitive(159, "primitiveFFIStructUint64AtPut", 2, "ffi")(
+    _struct_field_write(8, False)
+)
+
+
+@primitive(160, "primitiveFFIPointerAt", 1, "ffi")
+def primitive_ffi_pointer_at(interp, frame, argc):
+    """Read a word-sized pointer field as an integer address."""
+    memory = interp.memory
+    rcvr = frame.stack_value(1)
+    arg = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(arg):
+        return _fail("offset must be a SmallInteger")
+    offset = memory.integer_value_of(arg)
+    if offset < 0 or offset % 4 != 0:
+        return _fail("offset must be word aligned")
+    if offset + 4 > _buffer_byte_size(memory, rcvr):
+        return _fail("read past end of external memory")
+    value = memory.fetch_pointer(offset // 4, rcvr)
+    if not memory.is_integer_value(value):
+        return _fail("pointer does not fit a SmallInteger")
+    frame.pop_then_push(2, memory.integer_object_of(value))
+    return ExitResult.success()
+
+
+@primitive(161, "primitiveFFIPointerAtPut", 2, "ffi")
+def primitive_ffi_pointer_at_put(interp, frame, argc):
+    memory = interp.memory
+    rcvr = frame.stack_value(2)
+    offset_oop = frame.stack_value(1)
+    value_oop = frame.stack_value(0)
+    if not _is_external_address(memory, rcvr):
+        return _fail("receiver must be an ExternalAddress")
+    if not memory.is_integer_object(offset_oop):
+        return _fail("offset must be a SmallInteger")
+    if not memory.is_integer_object(value_oop):
+        return _fail("value must be a SmallInteger")
+    offset = memory.integer_value_of(offset_oop)
+    value = memory.integer_value_of(value_oop)
+    if offset < 0 or offset % 4 != 0:
+        return _fail("offset must be word aligned")
+    if offset + 4 > _buffer_byte_size(memory, rcvr):
+        return _fail("write past end of external memory")
+    if value < 0:
+        return _fail("address must be non-negative")
+    memory.store_pointer(offset // 4, rcvr, value)
+    frame.pop_then_push(3, value_oop)
+    return ExitResult.success()

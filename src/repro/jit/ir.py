@@ -1,0 +1,330 @@
+"""The compiler IR and its lowering to machine instructions.
+
+All four front-ends emit this IR (paper Listing 2 shows its shape:
+``checkSmallInteger t0 / jumpzero notsmi / t2 := t0 + t1 / ...``).
+Operands are register names: physical (``R0``-``R11``) or virtual
+(``T0``, ``T1``, ...).  Virtual registers are assigned by the
+linear-scan allocator of :class:`RegisterAllocatingCogit`; the other
+front-ends use physical registers directly and lower with the identity
+mapping.
+
+Lowering expands each IR instruction to one or more machine
+instructions and resolves trampoline names to call addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompilerError
+from repro.jit.machine.isa import MachineInstruction, label as machine_label, mi
+from repro.memory.layout import (
+    CLASS_INDEX_SHIFT,
+    FORMAT_MASK,
+    FORMAT_SHIFT,
+    HEADER_WORDS,
+    WORD_SIZE,
+)
+
+SLOT_BASE_OFFSET = HEADER_WORDS * WORD_SIZE  # first slot's byte offset
+
+
+@dataclass(frozen=True)
+class IRInstruction:
+    """One IR operation; operands are register names, labels, or ints."""
+
+    op: str
+    operands: tuple = ()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join(str(operand) for operand in self.operands)
+        return f"{self.op} {rendered}".rstrip()
+
+
+class IRBuilder:
+    """Accumulates IR and lowers it to machine code."""
+
+    def __init__(self) -> None:
+        self.instructions: list[IRInstruction] = []
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # emission helpers
+
+    def emit(self, op: str, *operands) -> IRInstruction:
+        instruction = IRInstruction(op, tuple(operands))
+        self.instructions.append(instruction)
+        return instruction
+
+    def fresh_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    # Structured emitters (a representative subset; all funnel to emit).
+    def label(self, name: str) -> None:
+        self.emit("label", name)
+
+    def jump(self, target: str) -> None:
+        self.emit("jump", target)
+
+    def jump_if(self, condition: str, target: str) -> None:
+        if condition not in ("eq", "ne", "lt", "le", "gt", "ge"):
+            raise CompilerError(f"bad branch condition {condition}")
+        self.emit("jump_if", condition, target)
+
+    def move(self, dst: str, src: str) -> None:
+        if dst != src:
+            self.emit("move", dst, src)
+
+    def move_const(self, dst: str, value: int) -> None:
+        self.emit("move_const", dst, value)
+
+    def push(self, reg: str) -> None:
+        self.emit("push", reg)
+
+    def push_const(self, value: int, scratch: str) -> None:
+        self.emit("push_const", value, scratch)
+
+    def pop(self, reg: str) -> None:
+        self.emit("pop", reg)
+
+    def drop(self, count: int) -> None:
+        if count:
+            self.emit("drop", count)
+
+    def check_small_int(self, reg: str, target_if_not: str) -> None:
+        """Branch to *target_if_not* when *reg* is not a tagged integer."""
+        self.emit("check_small_int", reg, target_if_not)
+
+    def check_not_small_int(self, reg: str, target_if_tagged: str) -> None:
+        self.emit("check_not_small_int", reg, target_if_tagged)
+
+    def untag(self, reg: str) -> None:
+        self.emit("untag", reg)
+
+    def tag(self, reg: str) -> None:
+        self.emit("tag", reg)
+
+    def alu(self, op: str, dst: str, src: str | None = None) -> None:
+        if src is None:
+            self.emit("alu", op, dst)
+        else:
+            self.emit("alu", op, dst, src)
+
+    def alu_const(self, op: str, dst: str, value: int) -> None:
+        self.emit("alu_const", op, dst, value)
+
+    def compare(self, left: str, right: str) -> None:
+        self.emit("compare", left, right)
+
+    def compare_const(self, reg: str, value: int) -> None:
+        self.emit("compare_const", reg, value)
+
+    def load_stack(self, dst: str, depth: int) -> None:
+        """Peek the machine operand stack without popping."""
+        self.emit("load_stack", dst, depth)
+
+    def load_slot(self, dst: str, obj: str, index: int) -> None:
+        self.emit("load_slot", dst, obj, index)
+
+    def store_slot(self, value: str, obj: str, index: int) -> None:
+        self.emit("store_slot", value, obj, index)
+
+    def load_indexed(self, dst: str, obj: str, index_reg: str, scratch: str) -> None:
+        self.emit("load_indexed", dst, obj, index_reg, scratch)
+
+    def store_indexed(self, value: str, obj: str, index_reg: str, scratch: str) -> None:
+        self.emit("store_indexed", value, obj, index_reg, scratch)
+
+    def load_class_index(self, dst: str, obj: str) -> None:
+        self.emit("load_class_index", dst, obj)
+
+    def load_format(self, dst: str, obj: str) -> None:
+        self.emit("load_format", dst, obj)
+
+    def load_num_slots(self, dst: str, obj: str) -> None:
+        self.emit("load_num_slots", dst, obj)
+
+    def load_frame_receiver(self, dst: str) -> None:
+        self.emit("load_frame_receiver", dst)
+
+    def load_frame_temp(self, dst: str, index: int) -> None:
+        self.emit("load_frame_temp", dst, index)
+
+    def store_frame_temp(self, src: str, index: int) -> None:
+        self.emit("store_frame_temp", src, index)
+
+    def call_trampoline(self, name: str) -> None:
+        self.emit("call_trampoline", name)
+
+    def call_service(self, name: str) -> None:
+        self.emit("call_service", name)
+
+    def ret(self) -> None:
+        self.emit("ret")
+
+    def stop(self, marker: int) -> None:
+        self.emit("stop", marker)
+
+    def fload(self, freg: str, obj: str) -> None:
+        """Unbox the double stored in *obj*'s body (no type check!)."""
+        self.emit("fload", freg, obj)
+
+    def falu(self, op: str, dst: str, src: str) -> None:
+        self.emit("falu", op, dst, src)
+
+    def fmov(self, dst: str, src: str) -> None:
+        self.emit("fmov", dst, src)
+
+    def fcompare(self, left: str, right: str) -> None:
+        self.emit("fcompare", left, right)
+
+    def cvt_int_to_float(self, freg: str, reg: str) -> None:
+        self.emit("cvt_int_to_float", freg, reg)
+
+    def cvt_float_to_int(self, reg: str, freg: str) -> None:
+        self.emit("cvt_float_to_int", reg, freg)
+
+    # ------------------------------------------------------------------
+    # lowering
+
+    def lower(self, trampolines, register_map=None) -> list[MachineInstruction]:
+        """Expand the IR into machine instructions.
+
+        ``register_map`` maps virtual register names to physical ones;
+        unmapped names pass through (physical registers).
+        """
+        register_map = register_map or {}
+
+        def reg(name: str) -> str:
+            return register_map.get(name, name)
+
+        out: list[MachineInstruction] = []
+        for instruction in self.instructions:
+            self._lower_one(instruction, out, trampolines, reg)
+        return out
+
+    def _lower_one(self, instruction, out, trampolines, reg) -> None:
+        op = instruction.op
+        operands = instruction.operands
+        _BRANCH_FOR = {"eq": "JE", "ne": "JNE", "lt": "JL",
+                       "le": "JLE", "gt": "JG", "ge": "JGE"}
+        _ALU_FOR = {"add": "ADD", "sub": "SUB", "mul": "MUL", "and": "AND",
+                    "or": "OR", "xor": "XOR", "div": "IDIV", "rem": "IREM",
+                    "shl": "SHL_RR", "shr": "SHR_RR", "sar": "SAR_RR",
+                    "neg": "NEG"}
+        _ALU_CONST_FOR = {"add": "ADD_RI", "sub": "SUB_RI", "and": "AND_RI",
+                          "or": "OR_RI", "shl": "SHL_RI", "shr": "SHR_RI",
+                          "sar": "SAR_RI"}
+        _FALU_FOR = {"add": "FADD", "sub": "FSUB", "mul": "FMUL", "div": "FDIV"}
+
+        if op == "label":
+            out.append(machine_label(operands[0]))
+        elif op == "jump":
+            out.append(mi("JMP", label=operands[0]))
+        elif op == "jump_if":
+            out.append(mi(_BRANCH_FOR[operands[0]], label=operands[1]))
+        elif op == "move":
+            out.append(mi("MOV_RR", reg(operands[0]), reg(operands[1])))
+        elif op == "move_const":
+            out.append(mi("MOV_RI", reg(operands[0]), imm=operands[1]))
+        elif op == "push":
+            out.append(mi("PUSH", reg(operands[0])))
+        elif op == "push_const":
+            out.append(mi("MOV_RI", reg(operands[1]), imm=operands[0]))
+            out.append(mi("PUSH", reg(operands[1])))
+        elif op == "pop":
+            out.append(mi("POP", reg(operands[0])))
+        elif op == "drop":
+            out.append(mi("ADD_RI", "SP", imm=operands[0] * WORD_SIZE))
+        elif op == "check_small_int":
+            # Tag bit clear -> not a small integer.
+            out.append(mi("TST_RI", reg(operands[0]), imm=1))
+            out.append(mi("JE", label=operands[1]))
+        elif op == "check_not_small_int":
+            out.append(mi("TST_RI", reg(operands[0]), imm=1))
+            out.append(mi("JNE", label=operands[1]))
+        elif op == "untag":
+            out.append(mi("SAR_RI", reg(operands[0]), imm=1))
+        elif op == "tag":
+            out.append(mi("SHL_RI", reg(operands[0]), imm=1))
+            out.append(mi("OR_RI", reg(operands[0]), imm=1))
+        elif op == "alu":
+            out.append(mi(_ALU_FOR[operands[0]], reg(operands[1]),
+                          reg(operands[2]) if len(operands) > 2 else None))
+        elif op == "alu_const":
+            out.append(mi(_ALU_CONST_FOR[operands[0]], reg(operands[1]),
+                          imm=operands[2]))
+        elif op == "compare":
+            out.append(mi("CMP", reg(operands[0]), reg(operands[1])))
+        elif op == "compare_const":
+            out.append(mi("CMP_RI", reg(operands[0]), imm=operands[1]))
+        elif op == "load_stack":
+            out.append(mi("LOAD", reg(operands[0]), "SP",
+                          imm=operands[1] * WORD_SIZE))
+        elif op == "load_slot":
+            out.append(mi("LOAD", reg(operands[0]), reg(operands[1]),
+                          imm=SLOT_BASE_OFFSET + operands[2] * WORD_SIZE))
+        elif op == "store_slot":
+            out.append(mi("STORE", reg(operands[0]), reg(operands[1]),
+                          imm=SLOT_BASE_OFFSET + operands[2] * WORD_SIZE))
+        elif op == "load_indexed":
+            dst, obj, index_reg, scratch = map(reg, operands)
+            out.append(mi("MOV_RR", scratch, index_reg))
+            out.append(mi("SHL_RI", scratch, imm=2))
+            out.append(mi("ADD", scratch, obj))
+            out.append(mi("LOAD", dst, scratch, imm=SLOT_BASE_OFFSET))
+        elif op == "store_indexed":
+            value, obj, index_reg, scratch = map(reg, operands)
+            out.append(mi("MOV_RR", scratch, index_reg))
+            out.append(mi("SHL_RI", scratch, imm=2))
+            out.append(mi("ADD", scratch, obj))
+            out.append(mi("STORE", value, scratch, imm=SLOT_BASE_OFFSET))
+        elif op == "load_class_index":
+            out.append(mi("LOAD", reg(operands[0]), reg(operands[1]), imm=0))
+            out.append(mi("SHR_RI", reg(operands[0]), imm=CLASS_INDEX_SHIFT))
+        elif op == "load_format":
+            out.append(mi("LOAD", reg(operands[0]), reg(operands[1]), imm=0))
+            out.append(mi("SHR_RI", reg(operands[0]), imm=FORMAT_SHIFT))
+            out.append(mi("AND_RI", reg(operands[0]), imm=FORMAT_MASK))
+        elif op == "load_num_slots":
+            out.append(mi("LOAD", reg(operands[0]), reg(operands[1]),
+                          imm=WORD_SIZE))
+        elif op == "load_frame_receiver":
+            out.append(mi("LOAD", reg(operands[0]), "FP", imm=0))
+        elif op == "load_frame_temp":
+            out.append(mi("LOAD", reg(operands[0]), "FP",
+                          imm=WORD_SIZE * (1 + operands[1])))
+        elif op == "store_frame_temp":
+            out.append(mi("STORE", reg(operands[0]), "FP",
+                          imm=WORD_SIZE * (1 + operands[1])))
+        elif op == "call_trampoline":
+            out.append(mi("CALL", imm=trampolines.exit_trampoline(operands[0])))
+        elif op == "call_service":
+            address = trampolines.exit_trampoline(operands[0])
+            # Services must already be registered with a handler.
+            if trampolines.lookup(address)[1] is None:
+                raise CompilerError(f"no service handler for {operands[0]}")
+            out.append(mi("CALL", imm=address))
+        elif op == "ret":
+            out.append(mi("RET"))
+        elif op == "stop":
+            out.append(mi("BRK", imm=operands[0]))
+        elif op == "fload":
+            out.append(mi("FLOAD", reg(operands[0]), reg(operands[1]),
+                          imm=SLOT_BASE_OFFSET))
+        elif op == "falu":
+            out.append(mi(_FALU_FOR[operands[0]], reg(operands[1]),
+                          reg(operands[2])))
+        elif op == "fcompare":
+            out.append(mi("FCMP", reg(operands[0]), reg(operands[1])))
+        elif op == "fsqrt":
+            out.append(mi("FSQRT", reg(operands[0]), reg(operands[1])))
+        elif op == "fmov":
+            out.append(mi("FMOV", reg(operands[0]), reg(operands[1])))
+        elif op == "cvt_int_to_float":
+            out.append(mi("CVT_IF", reg(operands[0]), reg(operands[1])))
+        elif op == "cvt_float_to_int":
+            out.append(mi("CVT_FI", reg(operands[0]), reg(operands[1])))
+        else:
+            raise CompilerError(f"unknown IR op {op}")

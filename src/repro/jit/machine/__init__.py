@@ -1,0 +1,53 @@
+"""Machine substrate: register files, ISA, back-end encoders, simulator.
+
+The paper executes each generated test on real machine code for two
+ISAs (x86 and ARM32 v5-v7) under Unicorn-based emulation inside the VM
+simulation environment.  Offline, we build the equivalent: a 32-bit
+register machine whose loads and stores hit the *same heap* the
+interpreter mutates, with two back-ends that encode the instruction
+stream differently (variable-length x86-style vs fixed-width ARM-style)
+and a simulator that decodes whichever encoding it is given.
+"""
+
+from repro.jit.machine.registers import (
+    GENERAL_REGISTERS,
+    FLOAT_REGISTERS,
+    RECEIVER_RESULT_REG,
+    ARG_REGS,
+    SCRATCH_REG,
+    CLASS_REG,
+    ALLOCATABLE_REGS,
+    FP,
+    SP,
+)
+from repro.jit.machine.isa import MachineInstruction, mi
+from repro.jit.machine.x86 import X86Backend
+from repro.jit.machine.arm32 import Arm32Backend
+from repro.jit.machine.codecache import CodeCache
+from repro.jit.machine.simulator import (
+    MachineOutcome,
+    MachineSimulator,
+    OutcomeKind,
+    TrampolineTable,
+)
+
+__all__ = [
+    "GENERAL_REGISTERS",
+    "FLOAT_REGISTERS",
+    "RECEIVER_RESULT_REG",
+    "ARG_REGS",
+    "SCRATCH_REG",
+    "CLASS_REG",
+    "ALLOCATABLE_REGS",
+    "FP",
+    "SP",
+    "MachineInstruction",
+    "mi",
+    "X86Backend",
+    "Arm32Backend",
+    "CodeCache",
+    "MachineOutcome",
+    "MachineSimulator",
+    "OutcomeKind",
+    "TrampolineTable",
+]

@@ -1,0 +1,96 @@
+"""ARM32-like back-end: fixed-width instruction encoding.
+
+Every instruction occupies exactly 8 bytes: opcode, two register bytes,
+a padding byte, and a 32-bit immediate word (zero when unused) — the
+fixed-width discipline of the ARM targets the paper tests (v5-v7),
+simplified to one uniform word size.  Register names display with ARM
+conventions (R0-R11, R11 doubling as FP naming in reports).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MachineError
+from repro.jit.machine.isa import BRANCH_OPS, OPCODES, MachineInstruction
+
+INSTRUCTION_WIDTH = 8
+
+_OP_IDS = {name: index + 1 for index, name in enumerate(sorted(OPCODES))}
+_ID_OPS = {index: name for name, index in _OP_IDS.items()}
+
+_REGISTER_NUMBERS = {f"R{i}": i for i in range(12)}
+_REGISTER_NUMBERS.update({"FP": 12, "SP": 13})
+_REGISTER_NUMBERS.update({f"F{i}": 16 + i for i in range(8)})
+_REGISTER_NAMES = {number: name for name, number in _REGISTER_NUMBERS.items()}
+_NO_REGISTER = 0xFF
+
+ARM_DISPLAY = {f"R{i}": f"r{i}" for i in range(12)}
+ARM_DISPLAY.update({"FP": "r11/fp", "SP": "sp"})
+
+
+class Arm32Backend:
+    """Encodes/decodes the micro-ISA with fixed-width instructions."""
+
+    name = "arm32"
+
+    def encode_one(self, instruction: MachineInstruction) -> bytes:
+        a = _REGISTER_NUMBERS.get(instruction.a, _NO_REGISTER)
+        b = _REGISTER_NUMBERS.get(instruction.b, _NO_REGISTER)
+        imm = int(instruction.imm or 0) & 0xFFFFFFFF
+        return bytes([_OP_IDS[instruction.op], a, b, 0]) + struct.pack("<I", imm)
+
+    def instruction_size(self, instruction: MachineInstruction) -> int:
+        return INSTRUCTION_WIDTH
+
+    def assemble(self, instructions, base_address: int) -> bytes:
+        addresses: dict[str, int] = {}
+        offset = 0
+        real: list[tuple[MachineInstruction, int]] = []
+        for instruction in instructions:
+            if instruction.op == "LABEL":
+                addresses[instruction.a] = base_address + offset
+                continue
+            real.append((instruction, offset))
+            offset += INSTRUCTION_WIDTH
+        code = bytearray()
+        for instruction, position in real:
+            if instruction.label is not None:
+                if instruction.label not in addresses:
+                    raise MachineError(f"undefined label {instruction.label}")
+                target = addresses[instruction.label]
+                next_address = base_address + position + INSTRUCTION_WIDTH
+                if instruction.op in BRANCH_OPS:
+                    instruction = MachineInstruction(
+                        instruction.op, instruction.a, instruction.b,
+                        target - next_address,
+                    )
+                else:
+                    instruction = MachineInstruction(
+                        instruction.op, instruction.a, instruction.b, target
+                    )
+            code += self.encode_one(instruction)
+        return bytes(code)
+
+    def decode(self, code: bytes, base_address: int):
+        if len(code) % INSTRUCTION_WIDTH != 0:
+            raise MachineError("misaligned arm32 code object")
+        decoded = []
+        for position in range(0, len(code), INSTRUCTION_WIDTH):
+            op_id, a_num, b_num, _pad = code[position : position + 4]
+            op = _ID_OPS.get(op_id)
+            if op is None:
+                raise MachineError(f"illegal opcode byte {op_id:#x} at {position}")
+            imm = struct.unpack("<i", code[position + 4 : position + 8])[0]
+            has_a, has_b, has_imm = OPCODES[op]
+            instruction = MachineInstruction(
+                op,
+                _REGISTER_NAMES[a_num] if has_a else None,
+                _REGISTER_NAMES[b_num] if has_b else None,
+                imm if has_imm else None,
+            )
+            decoded.append((base_address + position, instruction, INSTRUCTION_WIDTH))
+        return decoded
+
+    def display_register(self, name: str) -> str:
+        return ARM_DISPLAY.get(name, name)

@@ -1,0 +1,116 @@
+"""The micro-ISA both back-ends encode.
+
+A deliberately small 32-bit register machine: two-operand integer ALU,
+flags from compares/tests, relative branches, push/pop on a machine
+stack, absolute calls (used for trampolines), and an IEEE-754 double
+unit.  This is the common semantic core of the paper's two targets; the
+back-ends differ in *encoding* (variable-length vs fixed-width), which
+is what the decode layer exercises.
+
+Branch targets are byte offsets relative to the *next* instruction,
+filled in by the back-end assembler from symbolic labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: op -> (has_a, has_b, has_imm); a/b are register names.
+OPCODES: dict[str, tuple[bool, bool, bool]] = {
+    # moves / memory
+    "MOV_RR": (True, True, False),
+    "MOV_RI": (True, False, True),
+    "LOAD": (True, True, True),  # a <- [b + imm]
+    "STORE": (True, True, True),  # [b + imm] <- a
+    "PUSH": (True, False, False),
+    "POP": (True, False, False),
+    # integer ALU (a = a op b / imm); flags set on result
+    "ADD": (True, True, False),
+    "ADD_RI": (True, False, True),
+    "SUB": (True, True, False),
+    "SUB_RI": (True, False, True),
+    "MUL": (True, True, False),
+    "AND": (True, True, False),
+    "AND_RI": (True, False, True),
+    "OR": (True, True, False),
+    "OR_RI": (True, False, True),
+    "XOR": (True, True, False),
+    "SHL_RI": (True, False, True),
+    "SHR_RI": (True, False, True),  # logical
+    "SAR_RI": (True, False, True),  # arithmetic
+    "SHL_RR": (True, True, False),
+    "SHR_RR": (True, True, False),
+    "SAR_RR": (True, True, False),
+    "IDIV": (True, True, False),  # a = trunc(a / b); faults on b == 0
+    "IREM": (True, True, False),  # a = trunc-rem(a, b); faults on b == 0
+    "NEG": (True, False, False),
+    # flags
+    "CMP": (True, True, False),
+    "CMP_RI": (True, False, True),
+    "TST_RI": (True, False, True),  # flags from a & imm
+    # control flow
+    "JMP": (False, False, True),
+    "JE": (False, False, True),
+    "JNE": (False, False, True),
+    "JL": (False, False, True),
+    "JLE": (False, False, True),
+    "JG": (False, False, True),
+    "JGE": (False, False, True),
+    "CALL": (False, False, True),  # absolute address
+    "RET": (False, False, False),
+    "BRK": (False, False, True),  # breakpoint / Stop with marker id
+    "NOP": (False, False, False),
+    # floating point (double precision)
+    "FLOAD": (True, True, True),  # fa <- double at [b + imm] (2 words)
+    "FSTORE": (True, True, True),  # double at [b + imm] <- fa
+    "FMOV": (True, True, False),
+    "FADD": (True, True, False),
+    "FSUB": (True, True, False),
+    "FMUL": (True, True, False),
+    "FDIV": (True, True, False),
+    "FCMP": (True, True, False),
+    "FSQRT": (True, True, False),  # fa <- sqrt(fb); faults when fb < 0
+    "CVT_IF": (True, True, False),  # fa <- double(int rb)
+    "CVT_FI": (True, True, False),  # ra <- trunc(double fb)
+}
+
+
+@dataclass(frozen=True)
+class MachineInstruction:
+    """One decoded machine instruction."""
+
+    op: str
+    a: str | None = None
+    b: str | None = None
+    imm: int | None = None
+    #: Symbolic branch label, resolved to imm by the assembler.
+    label: str | None = None
+
+    def __post_init__(self):
+        if self.op not in OPCODES and self.op != "LABEL":
+            raise ValueError(f"unknown machine op {self.op}")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op]
+        if self.a is not None:
+            parts.append(self.a)
+        if self.b is not None:
+            parts.append(self.b)
+        if self.label is not None:
+            parts.append(f"@{self.label}")
+        elif self.imm is not None:
+            parts.append(f"#{self.imm}")
+        return " ".join(parts)
+
+
+def mi(op: str, a=None, b=None, imm=None, label=None) -> MachineInstruction:
+    """Shorthand constructor."""
+    return MachineInstruction(op, a, b, imm, label)
+
+
+def label(name: str) -> MachineInstruction:
+    """A position marker consumed by the assembler."""
+    return MachineInstruction("LABEL", a=name)
+
+
+BRANCH_OPS = frozenset({"JMP", "JE", "JNE", "JL", "JLE", "JG", "JGE"})

@@ -1,0 +1,114 @@
+"""x86-like back-end: variable-length instruction encoding.
+
+Instructions encode to 1-7 bytes: an opcode byte, optional register
+bytes, and an optional little-endian 32-bit immediate.  Register names
+are displayed with x86 conventions (R0 -> EAX, ...), matching the role
+mapping Cogit's x86 back-end uses.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MachineError
+from repro.jit.machine.isa import BRANCH_OPS, OPCODES, MachineInstruction
+
+_OP_IDS = {name: index + 1 for index, name in enumerate(sorted(OPCODES))}
+_ID_OPS = {index: name for name, index in _OP_IDS.items()}
+
+_REGISTER_NUMBERS = {f"R{i}": i for i in range(12)}
+_REGISTER_NUMBERS.update({"FP": 12, "SP": 13})
+_REGISTER_NUMBERS.update({f"F{i}": 16 + i for i in range(8)})
+_REGISTER_NAMES = {number: name for name, number in _REGISTER_NUMBERS.items()}
+
+#: Cosmetic x86 display names for the general registers.
+X86_DISPLAY = {
+    "R0": "EAX", "R1": "ECX", "R2": "EDX", "R3": "EBX", "R4": "ESI",
+    "R5": "EDI", "R6": "R8D", "R7": "R9D", "R8": "R10D", "R9": "R11D",
+    "R10": "R12D", "R11": "R13D", "FP": "EBP", "SP": "ESP",
+}
+
+
+class X86Backend:
+    """Encodes/decodes the micro-ISA with variable-length instructions."""
+
+    name = "x86"
+
+    def encode_one(self, instruction: MachineInstruction) -> bytes:
+        has_a, has_b, has_imm = OPCODES[instruction.op]
+        encoded = bytearray([_OP_IDS[instruction.op]])
+        if has_a:
+            encoded.append(_REGISTER_NUMBERS[instruction.a])
+        if has_b:
+            encoded.append(_REGISTER_NUMBERS[instruction.b])
+        if has_imm:
+            encoded += struct.pack("<I", int(instruction.imm) & 0xFFFFFFFF)
+        return bytes(encoded)
+
+    def instruction_size(self, instruction: MachineInstruction) -> int:
+        has_a, has_b, has_imm = OPCODES[instruction.op]
+        return 1 + int(has_a) + int(has_b) + (4 if has_imm else 0)
+
+    def assemble(self, instructions, base_address: int) -> bytes:
+        """Resolve labels to relative displacements and encode."""
+        addresses: dict[str, int] = {}
+        offset = 0
+        sized: list[tuple[MachineInstruction, int]] = []
+        for instruction in instructions:
+            if instruction.op == "LABEL":
+                addresses[instruction.a] = base_address + offset
+                continue
+            size = self.instruction_size(instruction)
+            sized.append((instruction, offset))
+            offset += size
+        code = bytearray()
+        for instruction, position in sized:
+            if instruction.label is not None:
+                if instruction.label not in addresses:
+                    raise MachineError(f"undefined label {instruction.label}")
+                target = addresses[instruction.label]
+                next_address = (
+                    base_address + position + self.instruction_size(instruction)
+                )
+                if instruction.op in BRANCH_OPS:
+                    instruction = MachineInstruction(
+                        instruction.op, instruction.a, instruction.b,
+                        target - next_address,
+                    )
+                else:
+                    instruction = MachineInstruction(
+                        instruction.op, instruction.a, instruction.b, target
+                    )
+            code += self.encode_one(instruction)
+        return bytes(code)
+
+    def decode(self, code: bytes, base_address: int):
+        """Decode the whole code object into (address, instruction, size)."""
+        decoded = []
+        position = 0
+        while position < len(code):
+            start = position
+            op_id = code[position]
+            position += 1
+            op = _ID_OPS.get(op_id)
+            if op is None:
+                raise MachineError(f"illegal opcode byte {op_id:#x} at {start}")
+            has_a, has_b, has_imm = OPCODES[op]
+            a = b = imm = None
+            if has_a:
+                a = _REGISTER_NAMES[code[position]]
+                position += 1
+            if has_b:
+                b = _REGISTER_NAMES[code[position]]
+                position += 1
+            if has_imm:
+                imm = struct.unpack("<i", code[position : position + 4])[0]
+                position += 4
+            decoded.append(
+                (base_address + start, MachineInstruction(op, a, b, imm),
+                 position - start)
+            )
+        return decoded
+
+    def display_register(self, name: str) -> str:
+        return X86_DISPLAY.get(name, name)

@@ -1,0 +1,150 @@
+"""RegisterAllocatingCogit: the experimental linear-scan compiler.
+
+"The experimental RegisterAllocatingCogit extends the
+StackToRegisterCogit with a linear register allocator" (paper Section
+4.1).  Two changes over its parent:
+
+* deferred stack entries and cached temporaries live in *virtual*
+  registers (``T0``, ``T1``, ...) that a linear-scan pass maps onto the
+  allocatable pool (``R7``-``R11``) at lowering time;
+* frame temporaries are cached in registers on first access and written
+  back at the epilogue, eliminating repeated frame loads.
+
+Semantically it makes the same inlining decisions as its parent, so the
+differential tester should find the same differences — which is exactly
+what the paper's Table 2 shows (10 and 10).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilerError
+from repro.jit.compiler import CompilationUnit
+from repro.jit.machine.registers import ALLOCATABLE_REGS
+from repro.jit.stack_to_register import StackToRegisterCogit, _Entry
+
+
+class RegisterAllocatingCogit(StackToRegisterCogit):
+    """Linear-scan register allocation over the parse-time stack."""
+
+    name = "RegisterAllocatingCogit"
+
+    def begin_stack(self) -> None:
+        super().begin_stack()
+        self._virtual_counter = 0
+        #: temp index -> virtual register caching it.
+        self._temp_cache: dict[int, str] = {}
+        self._dirty_temps: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # virtual registers
+
+    def _fresh_virtual(self) -> str:
+        name = f"T{self._virtual_counter}"
+        self._virtual_counter += 1
+        return name
+
+    def _free_stack_reg(self) -> str | None:
+        # Deferred entries always get a fresh virtual register; the
+        # linear scan decides the physical assignment later.
+        return self._fresh_virtual()
+
+    # ------------------------------------------------------------------
+    # temp caching
+
+    def _temp_register(self, index: int) -> str:
+        cached = self._temp_cache.get(index)
+        if cached is None:
+            cached = self._fresh_virtual()
+            self.ir.load_frame_temp(cached, index)
+            self._temp_cache[index] = cached
+        return cached
+
+    def gen_pushTemporaryVariable(self, unit) -> None:
+        self.gen_push_register(self._temp_register(unit.bytecode.embedded_index))
+
+    def gen_storeTemporaryVariable(self, unit) -> None:
+        index = unit.bytecode.embedded_index
+        reg = self._temp_cache.get(index)
+        if reg is None:
+            reg = self._fresh_virtual()
+            self._temp_cache[index] = reg
+        self.gen_top_to(reg, 0)
+        self._dirty_temps.add(index)
+
+    def gen_popIntoTemporaryVariable(self, unit) -> None:
+        index = unit.bytecode.embedded_index
+        reg = self._temp_cache.get(index)
+        if reg is None:
+            reg = self._fresh_virtual()
+            self._temp_cache[index] = reg
+        self.gen_pop_to(reg)
+        self._dirty_temps.add(index)
+
+    # Long-form temp encodings share the cache with the short forms so
+    # that mixed sequences never read a stale frame slot.
+    def gen_pushTemporaryVariableLong(self, unit) -> None:
+        self.gen_push_register(self._temp_register(unit.operands[0]))
+
+    def gen_storeTemporaryVariableLong(self, unit) -> None:
+        index = unit.operands[0]
+        reg = self._temp_cache.get(index)
+        if reg is None:
+            reg = self._fresh_virtual()
+            self._temp_cache[index] = reg
+        self.gen_top_to(reg, 0)
+        self._dirty_temps.add(index)
+
+    def gen_popIntoTemporaryVariableLong(self, unit) -> None:
+        index = unit.operands[0]
+        reg = self._temp_cache.get(index)
+        if reg is None:
+            reg = self._fresh_virtual()
+            self._temp_cache[index] = reg
+        self.gen_pop_to(reg)
+        self._dirty_temps.add(index)
+
+    def _gen_epilogue(self, unit: CompilationUnit, end_pc: int) -> None:
+        # Write dirty cached temps back so the frame is observable.
+        for index in sorted(self._dirty_temps):
+            self.ir.store_frame_temp(self._temp_cache[index], index)
+        super()._gen_epilogue(unit, end_pc)
+
+    # ------------------------------------------------------------------
+    # linear scan
+
+    def _register_map(self) -> dict:
+        """Assign virtual registers to the allocatable pool.
+
+        Classic linear scan over instruction indices: intervals are
+        [first use, last use]; expired intervals release their register.
+        """
+        intervals: dict[str, list[int]] = {}
+        for position, instruction in enumerate(self.ir.instructions):
+            for operand in instruction.operands:
+                if isinstance(operand, str) and operand.startswith("T"):
+                    interval = intervals.setdefault(operand, [position, position])
+                    interval[1] = position
+        mapping: dict[str, str] = {}
+        free = list(ALLOCATABLE_REGS)
+        active: list[tuple[int, str, str]] = []  # (end, virtual, physical)
+        for virtual, (start, end) in sorted(
+            intervals.items(), key=lambda item: item[1][0]
+        ):
+            still_active = []
+            for entry in active:
+                if entry[0] >= start:
+                    still_active.append(entry)
+                else:
+                    # Released registers go to the front: immediate reuse
+                    # keeps the footprint minimal and deterministic.
+                    free.insert(0, entry[2])
+            active = still_active
+            if not free:
+                raise CompilerError(
+                    f"{self.name}: register pressure too high (spilling "
+                    f"is not implemented)"
+                )
+            physical = free.pop(0)
+            mapping[virtual] = physical
+            active.append((end, virtual, physical))
+        return mapping

@@ -1,0 +1,48 @@
+"""SimpleStackBasedCogit: the naive, non-productive byte-code compiler.
+
+"A simpler version of the compiler that maps push and pop byte-code
+instructions to their equivalent push and pop machine-code
+instructions" (paper Section 4.1).  Every operand lives on the machine
+stack; no parse-time stack, no deferred constants.
+
+Defect corpus (DESIGN.md §6, *Optimisation difference*): this compiler
+"implements no static type predictions" for binary arithmetic — the six
+arithmetic byte-codes compile to plain message sends, and so does the
+``isNil`` test the interpreter inlines.  Integer *comparisons* are still
+inlined (they predate the type-prediction work).
+"""
+
+from __future__ import annotations
+
+from repro.jit.compiler import BytecodeCogit
+
+
+class SimpleStackBasedCogit(BytecodeCogit):
+    """Direct push/pop mapping; no simulation stack."""
+
+    name = "SimpleStackBasedCogit"
+    inline_int_arithmetic = False  # optimisation difference vs interpreter
+    inline_int_comparisons = True
+    inline_is_nil = False  # optimisation difference vs interpreter
+
+    def begin_stack(self) -> None:
+        pass  # all state is the machine stack itself
+
+    def gen_push_literal(self, value: int) -> None:
+        self.ir.push_const(value, self.TMP_D)
+
+    def gen_push_register(self, reg: str) -> None:
+        self.ir.push(reg)
+
+    def gen_pop_to(self, reg: str) -> None:
+        self.ir.pop(reg)
+
+    def gen_top_to(self, reg: str, depth: int = 0) -> None:
+        # Peek without popping: LOAD from SP.
+        self.ir.emit("load_stack", reg, depth)
+
+    def gen_drop(self, count: int) -> None:
+        self.ir.drop(count)
+
+    def gen_flush(self) -> None:
+        pass  # nothing is ever deferred

@@ -1,0 +1,46 @@
+"""Object memory substrate: tagged values, heap, class table, bootstrap.
+
+The Pharo VM that the paper targets stores every value as an *oop* (object
+pointer): either a 1-bit-tagged small integer or the address of a heap
+object with a header carrying a class index and a format.  This package
+reimplements that model on a flat word-addressable heap so that both the
+byte-code interpreter and the simulated JIT-compiled machine code operate
+on the *same* memory — differential effects (including memory corruption
+from missing type checks) are therefore real, not modelled.
+"""
+
+from repro.memory.layout import (
+    WORD_SIZE,
+    WORD_BITS,
+    SMALL_INT_BITS,
+    MIN_SMALL_INT,
+    MAX_SMALL_INT,
+    ObjectFormat,
+    is_small_int_oop,
+    small_int_value,
+    small_int_oop,
+    fits_small_int,
+)
+from repro.memory.heap import Heap
+from repro.memory.class_table import ClassTable, ClassDescription
+from repro.memory.object_memory import ObjectMemory
+from repro.memory.bootstrap import bootstrap_memory, WellKnown
+
+__all__ = [
+    "WORD_SIZE",
+    "WORD_BITS",
+    "SMALL_INT_BITS",
+    "MIN_SMALL_INT",
+    "MAX_SMALL_INT",
+    "ObjectFormat",
+    "is_small_int_oop",
+    "small_int_value",
+    "small_int_oop",
+    "fits_small_int",
+    "Heap",
+    "ClassTable",
+    "ClassDescription",
+    "ObjectMemory",
+    "bootstrap_memory",
+    "WellKnown",
+]

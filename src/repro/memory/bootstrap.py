@@ -1,0 +1,129 @@
+"""Bootstrap a minimal but faithful object space.
+
+Creates the class table with the classes the instruction set touches,
+allocates the three immutable special objects (nil, false, true) at known
+heap addresses, and wires the well-known class indices into the
+:class:`~repro.memory.object_memory.ObjectMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.class_table import ClassDescription, ClassTable
+from repro.memory.heap import Heap
+from repro.memory.layout import ObjectFormat
+from repro.memory.object_memory import ObjectMemory
+
+
+@dataclass(frozen=True)
+class WellKnown:
+    """Handles to everything the interpreter/compilers need by name."""
+
+    undefined_object: ClassDescription
+    boolean_false: ClassDescription
+    boolean_true: ClassDescription
+    small_integer: ClassDescription
+    boxed_float: ClassDescription
+    array: ClassDescription
+    byte_array: ClassDescription
+    word_array: ClassDescription
+    byte_string: ClassDescription
+    byte_symbol: ClassDescription
+    association: ClassDescription
+    point: ClassDescription
+    compiled_method: ClassDescription
+    block_closure: ClassDescription
+    message: ClassDescription
+    context: ClassDescription
+    external_address: ClassDescription
+    plain_object: ClassDescription
+    large_integer: ClassDescription
+    behavior: ClassDescription
+
+
+def _define_classes(table: ClassTable) -> WellKnown:
+    return WellKnown(
+        undefined_object=table.define("UndefinedObject", ObjectFormat.FIXED_POINTERS),
+        boolean_false=table.define("False", ObjectFormat.FIXED_POINTERS),
+        boolean_true=table.define("True", ObjectFormat.FIXED_POINTERS),
+        small_integer=table.define("SmallInteger", ObjectFormat.FIXED_POINTERS),
+        boxed_float=table.define(
+            "BoxedFloat64", ObjectFormat.BOXED_FLOAT, is_variable=True
+        ),
+        array=table.define("Array", ObjectFormat.VARIABLE_POINTERS, is_variable=True),
+        byte_array=table.define("ByteArray", ObjectFormat.BYTES, is_variable=True),
+        word_array=table.define("WordArray", ObjectFormat.WORDS, is_variable=True),
+        byte_string=table.define("ByteString", ObjectFormat.BYTES, is_variable=True),
+        byte_symbol=table.define("ByteSymbol", ObjectFormat.BYTES, is_variable=True),
+        association=table.define(
+            "Association", ObjectFormat.FIXED_POINTERS, fixed_slots=2
+        ),
+        point=table.define("Point", ObjectFormat.FIXED_POINTERS, fixed_slots=2),
+        compiled_method=table.define(
+            "CompiledMethod", ObjectFormat.COMPILED_METHOD, is_variable=True
+        ),
+        block_closure=table.define(
+            "BlockClosure", ObjectFormat.FIXED_POINTERS, fixed_slots=3
+        ),
+        message=table.define("Message", ObjectFormat.FIXED_POINTERS, fixed_slots=2),
+        context=table.define(
+            "Context", ObjectFormat.VARIABLE_POINTERS, fixed_slots=4, is_variable=True
+        ),
+        external_address=table.define(
+            "ExternalAddress", ObjectFormat.WORDS, is_variable=True
+        ),
+        plain_object=table.define(
+            "PlainObject", ObjectFormat.FIXED_POINTERS, fixed_slots=4
+        ),
+        large_integer=table.define(
+            "LargePositiveInteger", ObjectFormat.BYTES, is_variable=True
+        ),
+        behavior=table.define(
+            "Behavior", ObjectFormat.FIXED_POINTERS, fixed_slots=2
+        ),
+    )
+
+
+def make_behavior(memory: ObjectMemory, cls: ClassDescription) -> int:
+    """Allocate a Behavior proxy for *cls* (receiver of primitiveNew).
+
+    Slot 0 holds the class index as a tagged integer; slot 1 the fixed
+    instance size.  This stands in for first-class class objects, which
+    this reproduction does not model.
+    """
+    behavior_class = memory.class_table.named("Behavior")
+    oop = memory.instantiate(behavior_class)
+    memory.store_pointer(0, oop, memory.integer_object_of(cls.index))
+    memory.store_pointer(1, oop, memory.integer_object_of(cls.fixed_slots))
+    return oop
+
+
+def bootstrap_memory(
+    heap_words: int = 64 * 1024, memory_class: type = ObjectMemory
+) -> tuple[ObjectMemory, WellKnown]:
+    """Create a ready-to-run object memory.
+
+    ``memory_class`` lets the concolic engine substitute its
+    constraint-recording SymbolicObjectMemory while reusing the exact
+    same bootstrap.
+
+    Returns the memory and the well-known class handles.  The special
+    objects nil, false, true are the first three allocations, so their
+    oops are stable across runs — materialized frames and compiled code
+    can embed them as immediates.
+    """
+    heap = Heap(size_words=heap_words)
+    table = ClassTable()
+    known = _define_classes(table)
+
+    memory = memory_class(heap, table)
+    memory.small_integer_class_index = known.small_integer.index
+    memory.float_class_index = known.boxed_float.index
+    memory.array_class_index = known.array.index
+
+    memory.nil_object = memory.instantiate(known.undefined_object)
+    memory.false_object = memory.instantiate(known.boolean_false)
+    memory.true_object = memory.instantiate(known.boolean_true)
+    # Re-nil the special objects' own slots now that nil exists.
+    return memory, known

@@ -1,0 +1,77 @@
+"""Class table: class index <-> class description.
+
+The paper's abstract class constraints (Fig. 3) are ``format`` plus
+``class_id``: a class is identified by its *index in the class table*,
+which is what object headers store and what the semantic constraint
+``classIndexOf(v) == k`` talks about.
+
+Class descriptions live on the Python side (they are VM metadata, not
+part of the differential surface); their *identity* — the index — is what
+flows through headers, constraints and compiled type checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.layout import ObjectFormat
+
+
+@dataclass(frozen=True)
+class ClassDescription:
+    """Metadata for one class in the class table."""
+
+    index: int
+    name: str
+    #: Memory format instances of this class use.
+    instance_format: ObjectFormat
+    #: Number of fixed named slots (for FIXED_POINTERS instances).
+    fixed_slots: int = 0
+    #: True when instances may have indexable slots beyond the fixed ones.
+    is_variable: bool = field(default=False)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<class {self.name} #{self.index}>"
+
+
+class ClassTable:
+    """Dense table of classes, indexed by class index."""
+
+    def __init__(self) -> None:
+        self._classes: list[ClassDescription] = []
+        self._by_name: dict[str, ClassDescription] = {}
+
+    def define(
+        self,
+        name: str,
+        instance_format: ObjectFormat,
+        fixed_slots: int = 0,
+        is_variable: bool = False,
+    ) -> ClassDescription:
+        """Append a new class and return its description."""
+        if name in self._by_name:
+            raise ValueError(f"class already defined: {name}")
+        description = ClassDescription(
+            index=len(self._classes),
+            name=name,
+            instance_format=instance_format,
+            fixed_slots=fixed_slots,
+            is_variable=is_variable,
+        )
+        self._classes.append(description)
+        self._by_name[name] = description
+        return description
+
+    def at(self, index: int) -> ClassDescription:
+        if not 0 <= index < len(self._classes):
+            raise IndexError(f"no class at index {index}")
+        return self._classes[index]
+
+    def named(self, name: str) -> ClassDescription:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self):
+        return iter(self._classes)

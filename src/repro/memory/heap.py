@@ -1,0 +1,117 @@
+"""Flat word-addressable heap with a bump allocator.
+
+The heap is the single source of truth shared by the byte-code interpreter
+and the JIT-compiled machine code running on the CPU simulator.  All
+addresses are byte addresses that must be word aligned; every read/write
+is bounds-checked and raises :class:`~repro.errors.InvalidMemoryAccess`,
+which the differential tester maps onto the paper's *Invalid Memory
+Access* exit condition.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HeapExhausted, InvalidMemoryAccess
+from repro.memory.layout import WORD_MASK, WORD_SIZE
+
+
+class Heap:
+    """A fixed-size array of 32-bit words with bump allocation."""
+
+    def __init__(self, size_words: int = 64 * 1024, base_address: int = 0x1000) -> None:
+        if base_address % WORD_SIZE != 0:
+            raise ValueError("heap base address must be word aligned")
+        self._base = base_address
+        self._words = [0] * size_words
+        self._alloc_index = 0
+        #: Monotonic counter of writes; cheap heap-mutation fingerprinting
+        #: for the differential tester.
+        self.write_count = 0
+
+    # ------------------------------------------------------------------
+    # address arithmetic
+
+    @property
+    def base_address(self) -> int:
+        return self._base
+
+    @property
+    def size_words(self) -> int:
+        return len(self._words)
+
+    @property
+    def allocated_words(self) -> int:
+        return self._alloc_index
+
+    @property
+    def free_pointer(self) -> int:
+        """Byte address of the next free word (Pharo's ``freeStart``)."""
+        return self._base + self._alloc_index * WORD_SIZE
+
+    def contains(self, address: int) -> bool:
+        """True when *address* points at an allocated, aligned heap word."""
+        if address % WORD_SIZE != 0:
+            return False
+        index = (address - self._base) // WORD_SIZE
+        return 0 <= index < self._alloc_index
+
+    def _index_of(self, address: int, for_write: bool) -> int:
+        if address % WORD_SIZE != 0:
+            raise InvalidMemoryAccess(address, "(unaligned)")
+        index = (address - self._base) // WORD_SIZE
+        if not 0 <= index < self._alloc_index:
+            kind = "write" if for_write else "read"
+            raise InvalidMemoryAccess(address, f"({kind} outside allocated heap)")
+        return index
+
+    # ------------------------------------------------------------------
+    # word access
+
+    def read_word(self, address: int) -> int:
+        return self._words[self._index_of(address, for_write=False)]
+
+    def write_word(self, address: int, value: int) -> None:
+        self._words[self._index_of(address, for_write=True)] = value & WORD_MASK
+        self.write_count += 1
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def allocate(self, n_words: int) -> int:
+        """Bump-allocate *n_words* zeroed words; return their byte address."""
+        if n_words < 0:
+            raise ValueError("cannot allocate a negative number of words")
+        if self._alloc_index + n_words > len(self._words):
+            raise HeapExhausted(
+                f"allocation of {n_words} words exceeds heap of {len(self._words)}"
+            )
+        address = self._base + self._alloc_index * WORD_SIZE
+        self._alloc_index += n_words
+        return address
+
+    # ------------------------------------------------------------------
+    # snapshots (used to compare side effects between engines)
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of the allocated portion of the heap."""
+        return tuple(self._words[: self._alloc_index])
+
+    def restore(self, snapshot: tuple[int, ...]) -> None:
+        """Restore a snapshot taken earlier, truncating later allocations."""
+        if len(snapshot) > len(self._words):
+            raise ValueError("snapshot larger than heap")
+        self._words[: len(snapshot)] = list(snapshot)
+        for index in range(len(snapshot), self._alloc_index):
+            self._words[index] = 0
+        self._alloc_index = len(snapshot)
+
+    def diff(self, snapshot: tuple[int, ...]) -> dict[int, tuple[int, int]]:
+        """Map of byte address -> (old, new) for words that changed."""
+        changes: dict[int, tuple[int, int]] = {}
+        common = min(len(snapshot), self._alloc_index)
+        for index in range(common):
+            old, new = snapshot[index], self._words[index]
+            if old != new:
+                changes[self._base + index * WORD_SIZE] = (old, new)
+        for index in range(common, self._alloc_index):
+            changes[self._base + index * WORD_SIZE] = (0, self._words[index])
+        return changes

@@ -1,0 +1,144 @@
+"""Word size, tagging scheme, header encoding and object formats.
+
+The reproduction targets the 32-bit configuration the paper evaluates
+("we constrained our usage for now to 32bit compilations", Section 4.3).
+
+Tagging
+-------
+An *oop* is a 32-bit machine word.
+
+* ``oop & 1 == 1`` — a tagged SmallInteger.  The value is the signed
+  31-bit quantity ``oop >> 1``; the representable range is
+  ``[-2**30, 2**30 - 1]``.
+* ``oop & 1 == 0`` — a pointer to a heap object.  Objects are aligned to
+  4-byte (one-word) boundaries, so pointer oops always have their two low
+  bits clear.
+
+Object layout
+-------------
+Every heap object occupies ``HEADER_WORDS + num_slots`` words::
+
+    word 0   header: [ class index (22 bits) | format (5 bits) | flags ]
+    word 1   number of slots
+    word 2+  slots (oops for pointer formats, raw words otherwise)
+
+This is a simplified Spur-style header: the class is an *index* into the
+class table, not a pointer, exactly the indirection the paper's abstract
+class constraints model (``class_id`` in Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+WORD_SIZE = 4
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+SMALL_INT_BITS = 31
+MAX_SMALL_INT = (1 << (SMALL_INT_BITS - 1)) - 1  # 2**30 - 1
+MIN_SMALL_INT = -(1 << (SMALL_INT_BITS - 1))  # -2**30
+
+HEADER_WORDS = 2
+
+CLASS_INDEX_BITS = 22
+FORMAT_BITS = 5
+CLASS_INDEX_SHIFT = FORMAT_BITS + 5  # 5 flag bits below the format field
+FORMAT_SHIFT = 5
+FORMAT_MASK = (1 << FORMAT_BITS) - 1
+CLASS_INDEX_MASK = (1 << CLASS_INDEX_BITS) - 1
+
+
+class ObjectFormat(enum.IntEnum):
+    """Memory format of a heap object (paper Fig. 3, ``format`` field)."""
+
+    #: No indexable slots; fixed named slots only (plain objects).
+    FIXED_POINTERS = 1
+    #: Variable pointer slots (Array).
+    VARIABLE_POINTERS = 2
+    #: Raw 32-bit word slots (word arrays, float bodies).
+    WORDS = 3
+    #: Raw byte slots, one byte stored per word slot (documented
+    #: simplification; width checks still distinguish byte access).
+    BYTES = 4
+    #: Boxed float: exactly two raw word slots holding an IEEE-754 double.
+    BOXED_FLOAT = 5
+    #: Compiled method: literal oops followed by raw bytecode words.
+    COMPILED_METHOD = 6
+
+    @property
+    def is_pointers(self) -> bool:
+        return self in (ObjectFormat.FIXED_POINTERS, ObjectFormat.VARIABLE_POINTERS)
+
+    @property
+    def is_raw(self) -> bool:
+        return not self.is_pointers
+
+
+def is_small_int_oop(oop: int) -> bool:
+    """True when *oop* is a tagged SmallInteger."""
+    return (oop & 1) == 1
+
+
+def fits_small_int(value: int) -> bool:
+    """True when *value* is representable as a tagged SmallInteger.
+
+    This is the interpreter's overflow check
+    (``objectMemory isIntegerValue:`` in Listing 1 of the paper).
+    """
+    return MIN_SMALL_INT <= value <= MAX_SMALL_INT
+
+
+def small_int_oop(value: int) -> int:
+    """Tag *value* as a SmallInteger oop (``integerObjectOf:``)."""
+    if not fits_small_int(value):
+        raise OverflowError(f"{value} does not fit in a tagged SmallInteger")
+    return ((value << 1) | 1) & WORD_MASK
+
+
+def small_int_value(oop: int) -> int:
+    """Untag a SmallInteger oop into a signed value (``integerValueOf:``).
+
+    Like the real VM this performs *no* type check: untagging a pointer
+    yields garbage.  Safety lives in callers (safe native methods check,
+    unsafe bytecodes do not) — that asymmetry is what the paper tests.
+    """
+    unsigned = (oop & WORD_MASK) >> 1
+    if unsigned >= 1 << (SMALL_INT_BITS - 1):
+        unsigned -= 1 << SMALL_INT_BITS
+    return unsigned
+
+
+def encode_header(class_index: int, fmt: ObjectFormat) -> int:
+    """Pack a class index and format into a header word."""
+    if not 0 <= class_index <= CLASS_INDEX_MASK:
+        raise ValueError(f"class index out of range: {class_index}")
+    return ((class_index & CLASS_INDEX_MASK) << CLASS_INDEX_SHIFT) | (
+        (int(fmt) & FORMAT_MASK) << FORMAT_SHIFT
+    )
+
+
+def header_class_index(header: int) -> int:
+    return (header >> CLASS_INDEX_SHIFT) & CLASS_INDEX_MASK
+
+
+def header_format(header: int) -> ObjectFormat:
+    return ObjectFormat((header >> FORMAT_SHIFT) & FORMAT_MASK)
+
+
+def float_to_words(value: float) -> tuple[int, int]:
+    """Split an IEEE-754 double into (high, low) 32-bit words."""
+    bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+    return (bits >> 32) & WORD_MASK, bits & WORD_MASK
+
+
+def words_to_float(high: int, low: int) -> float:
+    """Rebuild an IEEE-754 double from (high, low) 32-bit words.
+
+    Used by *unchecked* unboxing too: reading the body of a non-float
+    object through this function yields exactly the "random numbers" the
+    paper observed for the missing-type-check defects.
+    """
+    bits = ((high & WORD_MASK) << 32) | (low & WORD_MASK)
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]

@@ -1,0 +1,87 @@
+"""Round-trip and error tests for assembler/disassembler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bytecode.assembler import assemble
+from repro.bytecode.disassembler import disassemble
+from repro.bytecode.opcodes import BYTECODE_TABLE
+from repro.errors import BytecodeError
+
+
+class TestAssemble:
+    def test_simple_sequence(self):
+        code = assemble(["pushTrue", "pushFalse", "bytecodePrimAdd"])
+        assert code == bytes([0x31, 0x32, 0x80])
+
+    def test_operand_encoding(self):
+        code = assemble([("longJump", -2)])
+        assert code == bytes([0x78, 0xFE])
+
+    def test_two_byte_operand_little_endian(self):
+        code = assemble([("callPrimitive", 0x0102)])
+        assert code == bytes([0xC8, 0x02, 0x01])
+
+    def test_spurious_operand_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble([("pushTrue", 1)])
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble(["longJump"])
+
+    def test_operand_range_enforced(self):
+        with pytest.raises(BytecodeError):
+            assemble([("longJump", 300)])
+
+
+class TestDisassemble:
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(BytecodeError):
+            disassemble(bytes([0xFF]))
+
+    def test_truncated_operand_raises(self):
+        with pytest.raises(BytecodeError):
+            disassemble(bytes([0x78]))
+
+    def test_pcs_advance_by_size(self):
+        instructions = disassemble(assemble(["pushTrue", ("longJump", 0), "nop"]))
+        assert [i.pc for i in instructions] == [0, 1, 3]
+
+    def test_mnemonic_rendering(self):
+        (instruction,) = disassemble(assemble([("longJump", 5)]))
+        assert instruction.mnemonic == "longJump(5)"
+
+
+# Strategy: any defined encoding with suitable operands.
+def _instruction_strategy():
+    def to_insn(bc, value):
+        if bc.family.operand_bytes == 0:
+            return bc.name
+        if bc.family.operand_bytes == 1:
+            return (bc.name, value % 256)
+        return (bc.name, value % 65536)
+
+    return st.builds(
+        to_insn,
+        st.sampled_from(sorted(BYTECODE_TABLE.values(), key=lambda b: b.opcode)),
+        st.integers(min_value=0, max_value=65535),
+    )
+
+
+class TestRoundTrip:
+    @given(st.lists(_instruction_strategy(), max_size=20))
+    def test_assemble_disassemble_round_trip(self, instructions):
+        code = assemble(instructions)
+        decoded = disassemble(code)
+        assert assemble(
+            [
+                insn.bytecode.name
+                if not insn.operands
+                else (insn.bytecode.name, insn.operands[0])
+                for insn in decoded
+            ]
+        ) == code

@@ -1,0 +1,106 @@
+"""Unit tests for compiled methods, headers, symbols and heap layout."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bytecode.methods import CompiledMethod, MethodBuilder, SymbolTable
+from repro.errors import BytecodeError
+from repro.memory import bootstrap_memory
+
+
+@pytest.fixture
+def memory():
+    return bootstrap_memory(heap_words=4096)[0]
+
+
+class TestHeader:
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=1023),
+    )
+    def test_header_round_trip(self, num_args, extra_temps, num_literals, prim):
+        num_temps = min(num_args + extra_temps, 63)
+        method = CompiledMethod(
+            num_args=num_args,
+            num_temps=num_temps,
+            primitive_index=prim,
+            literals=[0] * num_literals,
+        )
+        assert CompiledMethod.header_fields(method.header_value) == (
+            num_args,
+            num_temps,
+            num_literals,
+            prim,
+        )
+
+    def test_temps_cannot_undercount_args(self):
+        with pytest.raises(BytecodeError):
+            CompiledMethod(num_args=3, num_temps=1)
+
+
+class TestSymbolTable:
+    def test_interning_is_idempotent(self, memory):
+        symbols = SymbolTable(memory)
+        assert symbols.intern("at:put:") == symbols.intern("at:put:")
+
+    def test_reverse_lookup(self, memory):
+        symbols = SymbolTable(memory)
+        oop = symbols.intern("+")
+        assert symbols.name_of(oop) == "+"
+        assert symbols.name_of(12345) is None
+
+    def test_symbol_bytes_on_heap(self, memory):
+        symbols = SymbolTable(memory)
+        oop = symbols.intern("abc")
+        assert memory.num_slots_of(oop) == 3
+        assert [memory.fetch_pointer(i, oop) for i in range(3)] == [97, 98, 99]
+
+
+class TestMethodBuilder:
+    def test_build_simple_method(self, memory):
+        method = (
+            MethodBuilder(memory)
+            .args(2)
+            .temps(3)
+            .emit(0x31, 0x32, 0x80)
+            .build()
+        )
+        assert method.num_args == 2
+        assert method.num_temps == 3
+        assert method.bytecodes == bytes([0x31, 0x32, 0x80])
+        assert method.oop != 0
+
+    def test_literals_are_heap_slots(self, memory):
+        builder = MethodBuilder(memory)
+        lit = memory.integer_object_of(77)
+        index = builder.literal(lit)
+        method = builder.build()
+        assert index == 0
+        assert memory.fetch_pointer(1, method.oop) == lit
+        assert method.literal_at(0) == lit
+
+    def test_selector_literal(self, memory):
+        builder = MethodBuilder(memory)
+        index = builder.selector_literal("foo")
+        method = builder.build()
+        assert builder.symbols.name_of(method.literal_at(index)) == "foo"
+
+    def test_header_on_heap_is_tagged(self, memory):
+        method = MethodBuilder(memory).args(1).build()
+        header_oop = memory.fetch_pointer(0, method.oop)
+        assert memory.is_integer_object(header_oop)
+        assert memory.integer_value_of(header_oop) == method.header_value
+
+    def test_literal_index_out_of_range(self, memory):
+        method = MethodBuilder(memory).build()
+        with pytest.raises(BytecodeError):
+            method.literal_at(0)
+
+    def test_byte_out_of_range_rejected(self, memory):
+        with pytest.raises(BytecodeError):
+            MethodBuilder(memory).emit(300)

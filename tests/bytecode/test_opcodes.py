@@ -1,0 +1,62 @@
+"""Unit tests for the byte-code table structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.opcodes import BYTECODE_TABLE, FAMILIES, bytecode_named
+from repro.bytecode.opcodes import testable_bytecodes as all_testable_bytecodes
+from repro.errors import BytecodeError
+
+
+class TestTableStructure:
+    def test_no_opcode_collisions(self):
+        # _build_table would have raised; spot-check density instead.
+        opcodes = sorted(BYTECODE_TABLE)
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_family_expansion_counts(self):
+        assert sum(f.count for f in FAMILIES) == len(BYTECODE_TABLE)
+
+    def test_scale_matches_paper_order_of_magnitude(self):
+        # Paper: 175 tested byte-code instructions from 77 families.
+        assert len(all_testable_bytecodes()) >= 175
+        assert len(FAMILIES) >= 30
+
+    def test_all_opcodes_are_bytes(self):
+        assert all(0 <= op <= 0xFF for op in BYTECODE_TABLE)
+
+    def test_embedded_index_matches_offset(self):
+        for opcode, bc in BYTECODE_TABLE.items():
+            assert opcode == bc.family.first_opcode + bc.embedded_index
+
+    def test_untestable_families_are_excluded(self):
+        names = {bc.name for bc in all_testable_bytecodes()}
+        assert "pushThisContext" not in names
+        assert "callPrimitive" not in names
+
+
+class TestLookup:
+    def test_lookup_indexed_encoding(self):
+        bc = bytecode_named("pushTemporaryVariable3")
+        assert bc.family.name == "pushTemporaryVariable"
+        assert bc.embedded_index == 3
+        assert bc.opcode == 0x13
+
+    def test_lookup_singleton(self):
+        assert bytecode_named("duplicateTop").opcode == 0x38
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BytecodeError):
+            bytecode_named("fooBar")
+
+    def test_arithmetic_bytecodes_present(self):
+        add = bytecode_named("bytecodePrimAdd")
+        assert add.opcode == 0x80
+        assert add.family.min_stack == 2
+        assert bytecode_named("bytecodePrimBitShift").opcode == 0x90
+
+    def test_instruction_sizes(self):
+        assert bytecode_named("pushReceiver").size == 1
+        assert bytecode_named("longJump").size == 2
+        assert bytecode_named("callPrimitive").size == 3

@@ -1,0 +1,166 @@
+"""Exploration tests: path structure of representative instructions.
+
+These check that the concolic engine reproduces the paper's path tables:
+Table 1 (the add byte-code's five-ish paths) and the Fig. 2 progression
+(invalid frame -> success -> overflow failure -> type failures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.opcodes import bytecode_named
+from repro.concolic.explorer import explore_bytecode, explore_native_method
+from repro.interpreter.exits import ExitCondition
+from repro.interpreter.primitives import primitive_named
+
+
+def exits_of(result):
+    return [path.exit.condition for path in result.paths]
+
+
+def constraint_strings(path):
+    return [str(c) for c in path.constraints]
+
+
+class TestAddBytecode:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return explore_bytecode(bytecode_named("bytecodePrimAdd"))
+
+    def test_path_count_matches_paper_shape(self, result):
+        # Paper Table 1 shows 5 integer/object paths; our engine also
+        # explores the float-inlined paths and both overflow directions.
+        assert 5 <= result.path_count <= 12
+
+    def test_first_path_is_invalid_frame(self, result):
+        """Fig. 2 execution #1: empty frame -> invalid frame exit."""
+        first = result.paths[0]
+        assert first.exit.condition == ExitCondition.INVALID_FRAME
+        assert "stack_size" in str(first.constraints[0])
+
+    def test_integer_success_path_exists(self, result):
+        successes = [
+            p for p in result.paths if p.exit.condition == ExitCondition.SUCCESS
+        ]
+        assert any(
+            any("is_small_int" in s for s in constraint_strings(p))
+            for p in successes
+        )
+
+    def test_overflow_path_sends(self, result):
+        sends = [
+            p for p in result.paths if p.exit.condition == ExitCondition.MESSAGE_SEND
+        ]
+        assert any(
+            any("not(le(add" in s or "not(ge(add" in s for s in constraint_strings(p))
+            for p in sends
+        ), "an overflow path exiting through a message send must exist"
+
+    def test_send_paths_carry_selector(self, result):
+        for path in result.paths:
+            if path.exit.condition == ExitCondition.MESSAGE_SEND:
+                assert path.exit.selector == "+"
+
+    def test_models_satisfy_their_paths(self, result):
+        for path in result.paths:
+            assert path.model.satisfies([c.literal for c in path.constraints])
+
+    def test_signatures_unique(self, result):
+        signatures = [p.signature for p in result.paths]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestOtherBytecodes:
+    def test_push_constant_single_path(self):
+        result = explore_bytecode(bytecode_named("pushTrue"))
+        assert result.path_count == 1
+        assert result.paths[0].exit.condition == ExitCondition.SUCCESS
+
+    def test_dup_has_two_paths(self):
+        result = explore_bytecode(bytecode_named("duplicateTop"))
+        assert {p.exit.condition for p in result.paths} == {
+            ExitCondition.INVALID_FRAME,
+            ExitCondition.SUCCESS,
+        }
+
+    def test_push_temp_grows_temps(self):
+        result = explore_bytecode(bytecode_named("pushTemporaryVariable2"))
+        conditions = {p.exit.condition for p in result.paths}
+        assert ExitCondition.INVALID_FRAME in conditions
+        assert ExitCondition.SUCCESS in conditions
+
+    def test_push_receiver_variable_explores_memory_shapes(self):
+        result = explore_bytecode(bytecode_named("pushReceiverVariable1"))
+        conditions = {p.exit.condition for p in result.paths}
+        # Receiver with too few slots -> invalid memory access;
+        # receiver with enough slots -> success.
+        assert ExitCondition.INVALID_MEMORY_ACCESS in conditions
+        assert ExitCondition.SUCCESS in conditions
+
+    def test_conditional_jump_paths(self):
+        result = explore_bytecode(bytecode_named("shortJumpIfTrue3"))
+        conditions = [p.exit.condition for p in result.paths]
+        assert conditions.count(ExitCondition.SUCCESS) >= 2  # taken + not taken
+        assert ExitCondition.MESSAGE_SEND in conditions  # mustBeBoolean
+
+    def test_conditional_jump_pcs_differ(self):
+        result = explore_bytecode(bytecode_named("shortJumpIfTrue3"))
+        success_pcs = {
+            p.output.pc
+            for p in result.paths
+            if p.exit.condition == ExitCondition.SUCCESS
+        }
+        assert len(success_pcs) == 2
+
+    def test_return_top(self):
+        result = explore_bytecode(bytecode_named("returnTop"))
+        returns = [
+            p for p in result.paths
+            if p.exit.condition == ExitCondition.METHOD_RETURN
+        ]
+        assert returns and returns[0].output.returned is not None
+
+    def test_bitand_explores_negative_fallback(self):
+        result = explore_bytecode(bytecode_named("bytecodePrimBitAnd"))
+        sends = [
+            p for p in result.paths if p.exit.condition == ExitCondition.MESSAGE_SEND
+        ]
+        assert sends, "negative operands must take the send slow path"
+
+
+class TestNativeMethods:
+    def test_primitive_add_failure_paths(self):
+        result = explore_native_method(primitive_named("primitiveAdd"))
+        conditions = exits_of(result)
+        assert conditions.count(ExitCondition.FAILURE) >= 3  # overflow x2 + types
+
+    def test_as_float_defect_path_is_discovered(self):
+        """The compile-time-removed assertion still guides exploration."""
+        result = explore_native_method(primitive_named("primitiveAsFloat"))
+        pointer_success = [
+            p
+            for p in result.paths
+            if p.exit.condition == ExitCondition.SUCCESS
+            and any("not(is_small_int" in str(c) for c in p.constraints)
+        ]
+        assert pointer_success, "pointer-receiver path must be explored"
+
+    def test_at_explores_formats_and_bounds(self):
+        result = explore_native_method(primitive_named("primitiveAt"))
+        assert result.path_count >= 6
+        details = " ".join(p.exit.detail or "" for p in result.paths)
+        assert "bounds" in details
+
+    def test_native_methods_have_more_paths_than_bytecodes(self):
+        """Fig. 5's headline: natives ~10 paths, byte-codes ~2."""
+        native = explore_native_method(primitive_named("primitiveAtPut"))
+        bytecode = explore_bytecode(bytecode_named("pushTrue"))
+        assert native.path_count > bytecode.path_count
+
+    def test_exploration_is_deterministic(self):
+        first = explore_native_method(primitive_named("primitiveMod"))
+        second = explore_native_method(primitive_named("primitiveMod"))
+        assert [p.signature for p in first.paths] == [
+            p.signature for p in second.paths
+        ]

@@ -1,0 +1,195 @@
+"""Materializer tests: models become concrete VM state faithfully."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.methods import MethodBuilder, SymbolTable
+from repro.concolic.abstract import AbstractValue
+from repro.concolic.materialize import Materializer
+from repro.concolic.solver.model import Kind, KindTag, Model, SolverContext
+from repro.concolic.symbolic_memory import SymbolicObjectMemory
+from repro.memory.bootstrap import bootstrap_memory
+
+
+@pytest.fixture
+def world():
+    memory, known = bootstrap_memory(
+        heap_words=4096, memory_class=SymbolicObjectMemory
+    )
+    context = SolverContext.from_memory(memory)
+    return memory, known, context
+
+
+def model_with(context, kinds=None, ints=None, floats=None, aliases=None):
+    return Model(
+        context=context,
+        kinds=kinds or {},
+        int_values=ints or {},
+        float_values=floats or {},
+        aliases=aliases or {},
+    )
+
+
+class TestValues:
+    def test_small_int(self, world):
+        memory, _, context = world
+        model = model_with(
+            context, kinds={"recv": Kind(KindTag.SMALL_INT, value=-17)}
+        )
+        value = Materializer(memory, model).materialize_value(
+            AbstractValue("recv")
+        )
+        assert memory.integer_value_of(value).concrete == -17
+
+    def test_specials(self, world):
+        memory, _, context = world
+        model = model_with(
+            context,
+            kinds={
+                "a": Kind(KindTag.NIL),
+                "b": Kind(KindTag.TRUE),
+                "c": Kind(KindTag.FALSE),
+            },
+        )
+        materializer = Materializer(memory, model)
+        assert materializer.materialize_value(AbstractValue("a")).concrete == (
+            memory.nil_object
+        )
+        assert materializer.materialize_value(AbstractValue("b")).concrete == (
+            memory.true_object
+        )
+        assert materializer.materialize_value(AbstractValue("c")).concrete == (
+            memory.false_object
+        )
+
+    def test_float(self, world):
+        memory, _, context = world
+        model = model_with(
+            context, kinds={"f": Kind(KindTag.FLOAT)}, floats={"f": 2.75}
+        )
+        value = Materializer(memory, model).materialize_value(AbstractValue("f"))
+        assert memory.float_value_of(value).concrete == 2.75
+
+    def test_object_with_class_and_slots(self, world):
+        memory, known, context = world
+        model = model_with(
+            context,
+            kinds={
+                "o": Kind(
+                    KindTag.OBJECT, class_index=known.array.index, num_slots=3
+                )
+            },
+        )
+        value = Materializer(memory, model).materialize_value(AbstractValue("o"))
+        assert memory.class_index_of(value).concrete == known.array.index
+        assert memory.num_slots_of(value).concrete == 3
+
+    def test_object_slot_contents(self, world):
+        memory, known, context = world
+        model = model_with(
+            context,
+            kinds={
+                "o": Kind(
+                    KindTag.OBJECT, class_index=known.array.index, num_slots=2
+                ),
+                "o.slot1": Kind(KindTag.SMALL_INT, value=9),
+            },
+        )
+        value = Materializer(memory, model).materialize_value(AbstractValue("o"))
+        slot = memory.heap.read_word(memory.slot_address(value.concrete, 1))
+        assert slot == memory.integer_object_of(9)
+
+    def test_raw_slot_contents(self, world):
+        memory, known, context = world
+        model = model_with(
+            context,
+            kinds={
+                "o": Kind(
+                    KindTag.OBJECT,
+                    class_index=known.external_address.index,
+                    num_slots=2,
+                )
+            },
+            ints={"o.raw0": 0xDEAD},
+        )
+        value = Materializer(memory, model).materialize_value(AbstractValue("o"))
+        assert memory.heap.read_word(memory.slot_address(value.concrete, 0)) == (
+            0xDEAD
+        )
+
+    def test_aliased_values_share_identity(self, world):
+        memory, known, context = world
+        model = model_with(
+            context,
+            kinds={
+                "a": Kind(
+                    KindTag.OBJECT, class_index=known.array.index, num_slots=1
+                )
+            },
+            aliases={"b": "a"},
+        )
+        materializer = Materializer(memory, model)
+        first = materializer.materialize_value(AbstractValue("a"))
+        second = materializer.materialize_value(AbstractValue("b"))
+        assert first.concrete == second.concrete
+
+    def test_distinct_values_do_not_alias(self, world):
+        memory, known, context = world
+        kind = Kind(KindTag.OBJECT, class_index=known.array.index, num_slots=1)
+        model = model_with(context, kinds={"a": kind, "b": kind})
+        materializer = Materializer(memory, model)
+        first = materializer.materialize_value(AbstractValue("a"))
+        second = materializer.materialize_value(AbstractValue("b"))
+        assert first.concrete != second.concrete
+
+
+class TestFrames:
+    def _method(self, memory):
+        return MethodBuilder(memory, SymbolTable(memory)).temps(16).build()
+
+    def test_stack_materialization_order(self, world):
+        """stack0 is the TOP of the materialized operand stack."""
+        memory, _, context = world
+        model = model_with(
+            context,
+            kinds={
+                "stack0": Kind(KindTag.SMALL_INT, value=1),  # top
+                "stack1": Kind(KindTag.SMALL_INT, value=2),  # below
+            },
+            ints={"stack_size": 2},
+        )
+        frame = Materializer(memory, model).materialize_frame(
+            self._method(memory)
+        )
+        assert frame.stack_value(0).concrete == memory.integer_object_of(1)
+        assert frame.stack_value(1).concrete == memory.integer_object_of(2)
+
+    def test_temp_materialization(self, world):
+        memory, _, context = world
+        model = model_with(
+            context,
+            kinds={"temp1": Kind(KindTag.SMALL_INT, value=5)},
+            ints={"temp_count": 2},
+        )
+        frame = Materializer(memory, model).materialize_frame(
+            self._method(memory)
+        )
+        assert len(frame.temps) == 2
+        assert frame.temps[1].concrete == memory.integer_object_of(5)
+
+    def test_receiver_defaults_to_distinct_small_int(self, world):
+        from repro.concolic.solver.model import default_witness_value
+
+        memory, _, context = world
+        frame = Materializer(memory, model_with(context)).materialize_frame(
+            self._method(memory)
+        )
+        expected = memory.integer_object_of(default_witness_value("recv"))
+        assert frame.receiver.concrete == expected
+
+    def test_stack_size_clamped(self, world):
+        memory, _, context = world
+        model = model_with(context, ints={"stack_size": 10_000})
+        materializer = Materializer(memory, model)
+        assert materializer.stack_depth() == context.max_stack

@@ -1,0 +1,147 @@
+"""Byte-code sequence testing (the paper's future work, implemented)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concolic.explorer import ConcolicExplorer
+from repro.concolic.sequences import (
+    BytecodeSequenceSpec,
+    interesting_sequences,
+    sequence_spec,
+)
+from repro.difftest.harness import Status
+from repro.difftest.runner import CampaignConfig
+from repro.difftest.runner import test_instruction as run_instruction_test
+from repro.errors import BytecodeError
+from repro.interpreter.exits import ExitCondition
+from repro.jit.machine.x86 import X86Backend
+from repro.jit.register_allocating import RegisterAllocatingCogit
+from repro.jit.simple_stack import SimpleStackBasedCogit
+from repro.jit.stack_to_register import StackToRegisterCogit
+
+X86_ONLY = CampaignConfig(backends=(X86Backend,))
+ALL_COGITS = [SimpleStackBasedCogit, StackToRegisterCogit, RegisterAllocatingCogit]
+
+
+class TestSpecConstruction:
+    def test_mnemonic_construction(self):
+        spec = sequence_spec("pushTrue", "popStackTop")
+        assert spec.name == "seq:pushTrue+popStackTop"
+        assert spec.kind == "sequence"
+        assert spec.byte_size == 2
+
+    def test_operand_entries(self):
+        spec = sequence_spec("pushOne", ("longJump", 1), "nop")
+        assert spec.byte_size == 4
+
+    def test_backward_jump_rejected(self):
+        with pytest.raises(BytecodeError):
+            sequence_spec("nop", ("longJump", -2))
+
+    def test_literal_selector_mix_rejected(self):
+        with pytest.raises(BytecodeError):
+            sequence_spec("pushLiteralConstant0", "sendLiteralSelector0Args0")
+
+    def test_untestable_family_rejected(self):
+        with pytest.raises(BytecodeError):
+            sequence_spec("pushThisContext")
+
+
+class TestConcolicExploration:
+    def test_straight_line_sequence_paths(self):
+        spec = sequence_spec("pushOne", "pushTwo", "bytecodePrimAdd")
+        result = ConcolicExplorer(spec).explore()
+        # All operands are constants: exactly one (success) path.
+        assert result.path_count == 1
+        assert result.paths[0].exit.condition == ExitCondition.SUCCESS
+
+    def test_sequence_over_symbolic_inputs(self):
+        # dup + multiply squares the (symbolic) stack top.
+        spec = sequence_spec("duplicateTop", "bytecodePrimMultiply")
+        result = ConcolicExplorer(spec).explore()
+        conditions = {p.exit.condition for p in result.paths}
+        assert ExitCondition.INVALID_FRAME in conditions  # needs one input
+        assert ExitCondition.SUCCESS in conditions
+        assert ExitCondition.MESSAGE_SEND in conditions  # overflow / non-int
+
+    def test_jump_shapes_explored(self):
+        spec = sequence_spec("shortJumpIfTrue1", "pushNil", "nop")
+        result = ConcolicExplorer(spec).explore()
+        stacks = {
+            len(p.output.stack)
+            for p in result.paths
+            if p.exit.condition == ExitCondition.SUCCESS
+        }
+        # Taken path skips the push (empty stack); not-taken pushes nil.
+        assert stacks == {0, 1}
+
+
+class TestDifferentialSequences:
+    @pytest.mark.parametrize("cogit", ALL_COGITS, ids=lambda c: c.name)
+    def test_push_pop_compiles_equivalently(self, cogit):
+        """S2R compiles push+pop to nothing; behaviour must still match."""
+        spec = sequence_spec("pushTrue", "popStackTop")
+        result = run_instruction_test(spec, cogit, X86_ONLY)
+        assert result.differing_paths == 0
+
+    @pytest.mark.parametrize("cogit", ALL_COGITS, ids=lambda c: c.name)
+    def test_deferred_push_across_jump(self, cogit):
+        """A deferred push crossing a jump target needs the merge flush."""
+        spec = sequence_spec("pushOne", ("longJump", 1), "nop", "pushTwo",
+                             "bytecodePrimLessThan")
+        result = run_instruction_test(spec, cogit, X86_ONLY)
+        assert result.differing_paths == 0
+
+    def test_s2r_matches_on_all_interesting_sequences(self):
+        for spec in interesting_sequences():
+            result = run_instruction_test(spec, StackToRegisterCogit, X86_ONLY)
+            assert result.differing_paths == 0, spec.name
+
+    def test_simple_differs_only_on_known_families(self):
+        for spec in interesting_sequences():
+            result = run_instruction_test(spec, SimpleStackBasedCogit, X86_ONLY)
+            for comparison in result.differences():
+                assert "trampoline send" in comparison.detail, (
+                    spec.name, comparison.detail
+                )
+
+    def test_conditional_sequences_compare_pcs(self):
+        spec = sequence_spec("pushOne", "pushTwo", "bytecodePrimLessThan",
+                             "shortJumpIfFalse1", "pushTrue", "nop")
+        result = run_instruction_test(spec, RegisterAllocatingCogit, X86_ONLY)
+        assert result.differing_paths == 0
+        assert any(c.status == Status.MATCH for c in result.comparisons)
+
+    def test_temp_roundtrip_sequence(self):
+        spec = sequence_spec(
+            "pushZero", "popIntoTemporaryVariable0", "pushTemporaryVariable0"
+        )
+        result = run_instruction_test(spec, RegisterAllocatingCogit, X86_ONLY)
+        assert result.differing_paths == 0
+
+
+class TestGeneratedPairs:
+    def test_corpus_shape(self):
+        from repro.concolic.sequences import (
+            CONSUMERS,
+            PRODUCERS,
+            generate_pair_sequences,
+        )
+
+        specs = generate_pair_sequences()
+        assert len(specs) == len(PRODUCERS) * len(CONSUMERS)
+        assert len({spec.name for spec in specs}) == len(specs)
+
+    def test_every_pair_matches_on_production_compiler(self):
+        """The minimal producer/consumer programs are defect-free for
+        the compilers that inline like the interpreter does."""
+        from repro.concolic.sequences import generate_pair_sequences
+
+        for spec in generate_pair_sequences():
+            result = run_instruction_test(spec, StackToRegisterCogit, X86_ONLY)
+            for comparison in result.differences():
+                # Only the known float/int non-inlining sends may differ.
+                assert "trampoline send" in comparison.detail, (
+                    spec.name, comparison.detail
+                )

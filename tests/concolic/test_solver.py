@@ -1,0 +1,234 @@
+"""Solver tests: satisfiable/unsatisfiable conjunctions and soundness.
+
+The key property (checked exhaustively by construction and with
+hypothesis) is *soundness*: any model the solver returns satisfies every
+literal it was given.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concolic.solver import KindTag, SolverContext, solve
+from repro.concolic.terms import (
+    Sort,
+    compare,
+    identical,
+    int_binary,
+    kind_predicate,
+    not_,
+    oop_attribute,
+    var,
+)
+from repro.memory.bootstrap import bootstrap_memory
+from repro.memory.layout import MAX_SMALL_INT, MIN_SMALL_INT
+
+
+@pytest.fixture(scope="module")
+def context():
+    memory, _ = bootstrap_memory(heap_words=512)
+    return SolverContext.from_memory(memory)
+
+
+def v(name):
+    return var(name, Sort.OOP)
+
+
+def iv(name):
+    return oop_attribute("int_value_of", v(name))
+
+
+class TestKinds:
+    def test_small_int_kind(self, context):
+        model = solve([kind_predicate("is_small_int", v("a"))], context)
+        assert model is not None
+        assert model.kind_of("a").tag == KindTag.SMALL_INT
+
+    def test_conflicting_kinds_unsat(self, context):
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            kind_predicate("is_float", v("a")),
+        ]
+        assert solve(literals, context) is None
+
+    def test_negated_kind(self, context):
+        model = solve([not_(kind_predicate("is_small_int", v("a")))], context)
+        assert model is not None
+        assert model.kind_of("a").tag != KindTag.SMALL_INT
+
+    def test_all_kinds_excluded_unsat(self, context):
+        literals = [
+            not_(kind_predicate(p, v("a")))
+            for p in ("is_small_int", "is_float", "is_nil", "is_true", "is_false")
+        ]
+        # Only OBJECT remains: satisfiable.
+        model = solve(literals, context)
+        assert model is not None
+        assert model.kind_of("a").tag == KindTag.OBJECT
+
+    def test_nil_kind(self, context):
+        model = solve([kind_predicate("is_nil", v("a"))], context)
+        assert model.kind_of("a").tag == KindTag.NIL
+
+
+class TestArithmetic:
+    def test_value_equation(self, context):
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            compare("eq", iv("a"), 42),
+        ]
+        model = solve(literals, context)
+        assert model.kind_of("a").value == 42
+
+    def test_overflow_witness(self, context):
+        """The paper's Table 1 row 2: a sum that overflows."""
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            kind_predicate("is_small_int", v("b")),
+            compare("gt", int_binary("add", iv("a"), iv("b")), MAX_SMALL_INT),
+        ]
+        model = solve(literals, context)
+        assert model is not None
+        total = model.kind_of("a").value + model.kind_of("b").value
+        assert total > MAX_SMALL_INT
+
+    def test_underflow_witness(self, context):
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            kind_predicate("is_small_int", v("b")),
+            compare("lt", int_binary("add", iv("a"), iv("b")), MIN_SMALL_INT),
+        ]
+        model = solve(literals, context)
+        assert model is not None
+
+    def test_contradictory_bounds_unsat(self, context):
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            compare("gt", iv("a"), 10),
+            compare("lt", iv("a"), 5),
+        ]
+        assert solve(literals, context) is None
+
+    def test_exact_division_witness(self, context):
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            kind_predicate("is_small_int", v("b")),
+            compare("ne", iv("b"), 0),
+            compare("eq", int_binary("mod", iv("a"), iv("b")), 0),
+        ]
+        model = solve(literals, context)
+        assert model.kind_of("a").value % model.kind_of("b").value == 0
+
+    def test_stack_size_variable(self, context):
+        literals = [compare("gt", var("stack_size", Sort.INT), 1)]
+        model = solve(literals, context)
+        assert model.int_values["stack_size"] > 1
+
+
+class TestObjects:
+    def test_slot_count_requirement(self, context):
+        literals = [
+            not_(kind_predicate("is_small_int", v("a"))),
+            compare("gt", oop_attribute("slot_count_of", v("a")), 3),
+        ]
+        model = solve(literals, context)
+        assert model is not None
+        kind = model.kind_of("a")
+        assert model.context.slot_count_for_kind(kind) > 3
+
+    def test_class_index_pinning(self, context):
+        array_index = context.default_object_classes[1]
+        literals = [
+            compare("eq", oop_attribute("class_index_of", v("a")), array_index),
+        ]
+        model = solve(literals, context)
+        assert model.context.class_index_for_kind(model.kind_of("a")) == array_index
+
+    def test_format_constraint(self, context):
+        # BYTES format is 4.
+        literals = [
+            not_(kind_predicate("is_small_int", v("a"))),
+            compare("eq", oop_attribute("format_of", v("a")), 4),
+        ]
+        model = solve(literals, context)
+        assert model.context.format_for_kind(model.kind_of("a")) == 4
+
+    def test_small_int_class_index_forces_kind(self, context):
+        literals = [
+            compare(
+                "eq",
+                oop_attribute("class_index_of", v("a")),
+                context.small_integer_class_index,
+            ),
+        ]
+        model = solve(literals, context)
+        assert model.kind_of("a").tag == KindTag.SMALL_INT
+
+
+class TestIdentity:
+    def test_aliasing(self, context):
+        literals = [
+            identical(v("a"), v("b")),
+            kind_predicate("is_small_int", v("a")),
+            compare("eq", iv("a"), 7),
+        ]
+        model = solve(literals, context)
+        assert model.representative("b") == model.representative("a")
+        assert model.kind_of("b").value == 7
+
+    def test_distinctness(self, context):
+        literals = [not_(identical(v("a"), v("b")))]
+        model = solve(literals, context)
+        assert model is not None
+
+    def test_alias_and_distinct_conflict(self, context):
+        literals = [
+            identical(v("a"), v("b")),
+            not_(identical(v("a"), v("b"))),
+        ]
+        assert solve(literals, context) is None
+
+    def test_two_nils_cannot_differ(self, context):
+        literals = [
+            kind_predicate("is_nil", v("a")),
+            kind_predicate("is_nil", v("b")),
+            not_(identical(v("a"), v("b"))),
+        ]
+        assert solve(literals, context) is None
+
+
+class TestSoundness:
+    @given(
+        bound=st.integers(min_value=-1000, max_value=1000),
+        op=st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_models_satisfy_single_comparison(self, bound, op):
+        memory, _ = bootstrap_memory(heap_words=256)
+        context = SolverContext.from_memory(memory)
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            compare(op, iv("a"), bound),
+        ]
+        model = solve(literals, context)
+        assert model is not None
+        assert model.satisfies(literals)
+
+    @given(
+        lower=st.integers(min_value=-500, max_value=0),
+        spread=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_models_satisfy_interval(self, lower, spread):
+        memory, _ = bootstrap_memory(heap_words=256)
+        context = SolverContext.from_memory(memory)
+        literals = [
+            kind_predicate("is_small_int", v("a")),
+            compare("ge", iv("a"), lower),
+            compare("le", iv("a"), lower + spread),
+        ]
+        model = solve(literals, context)
+        assert model is not None
+        assert lower <= model.kind_of("a").value <= lower + spread

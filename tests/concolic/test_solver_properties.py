@@ -1,0 +1,126 @@
+"""Property-based solver tests over randomly generated conjunctions.
+
+Soundness is the non-negotiable invariant: *whenever* the solver returns
+a model, evaluating every literal under that model yields True.  The
+strategies below generate conjunctions in the same shape the concolic
+engine produces (kind predicates + comparisons over value attributes and
+frame variables), including unsatisfiable ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concolic.solver import SolverContext, solve
+from repro.concolic.terms import (
+    Sort,
+    compare,
+    int_binary,
+    kind_predicate,
+    not_,
+    oop_attribute,
+    var,
+)
+from repro.memory.bootstrap import bootstrap_memory
+
+_memory, _known = bootstrap_memory(heap_words=512)
+CONTEXT = SolverContext.from_memory(_memory)
+
+VAR_NAMES = ("recv", "stack0", "stack1", "temp0")
+PREDICATES = ("is_small_int", "is_float", "is_nil", "is_true", "is_false")
+ATTRIBUTES = ("int_value_of", "class_index_of", "slot_count_of", "format_of")
+COMPARISONS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+def oop(name):
+    return var(name, Sort.OOP)
+
+
+@st.composite
+def kind_literal(draw):
+    term = kind_predicate(draw(st.sampled_from(PREDICATES)),
+                          oop(draw(st.sampled_from(VAR_NAMES))))
+    return term if draw(st.booleans()) else not_(term)
+
+
+@st.composite
+def int_term(draw, depth=0):
+    choice = draw(st.integers(0, 3 if depth == 0 else 1))
+    if choice == 0:
+        return oop_attribute(
+            draw(st.sampled_from(ATTRIBUTES)),
+            oop(draw(st.sampled_from(VAR_NAMES))),
+        )
+    if choice == 1:
+        return var(draw(st.sampled_from(("stack_size", "temp_count"))), Sort.INT)
+    if choice == 2:
+        left = draw(int_term(depth=depth + 1))
+        right = draw(st.integers(-100, 100))
+        op = draw(st.sampled_from(("add", "sub", "mul")))
+        return int_binary(op, left, right)
+    left = draw(int_term(depth=depth + 1))
+    right = draw(int_term(depth=depth + 1))
+    return int_binary(draw(st.sampled_from(("add", "sub"))), left, right)
+
+
+@st.composite
+def comparison_literal(draw):
+    left = draw(int_term())
+    if draw(st.booleans()):
+        right = draw(st.integers(-1000, 1000))
+        term = compare(draw(st.sampled_from(COMPARISONS)), left, right)
+    else:
+        term = compare(draw(st.sampled_from(COMPARISONS)), left,
+                       draw(int_term()))
+    return term if draw(st.booleans()) else not_(term)
+
+
+conjunctions = st.lists(
+    st.one_of(kind_literal(), comparison_literal()), min_size=0, max_size=3
+)
+
+
+class TestSolverSoundness:
+    @given(literals=conjunctions)
+    @settings(max_examples=20, deadline=None)
+    def test_models_always_satisfy(self, literals):
+        model = solve(literals, CONTEXT)
+        if model is not None:
+            assert model.satisfies(literals)
+
+    @given(literals=conjunctions)
+    @settings(max_examples=10, deadline=None)
+    def test_strategies_agree_on_verdict(self, literals):
+        """The ablation baseline must return the same SAT/UNSAT verdicts."""
+        fast = solve(literals, CONTEXT, strategy="backtracking")
+        slow = solve(literals, CONTEXT, strategy="product")
+        assert (fast is None) == (slow is None)
+
+    @given(literals=conjunctions)
+    @settings(max_examples=10, deadline=None)
+    def test_solving_is_deterministic(self, literals):
+        first = solve(literals, CONTEXT)
+        second = solve(literals, CONTEXT)
+        if first is None:
+            assert second is None
+        else:
+            assert second is not None
+            assert first.to_dict() == second.to_dict()
+
+    @given(literals=conjunctions)
+    @settings(max_examples=10, deadline=None)
+    def test_adding_negation_makes_unsat(self, literals):
+        """A conjunction plus the negation of a satisfied literal about a
+        kind predicate cannot keep that literal satisfied."""
+        model = solve(literals, CONTEXT)
+        if model is None or not literals:
+            return
+        contradiction = literals + [not_(literals[0])]
+        contradicted = solve(contradiction, CONTEXT)
+        if contradicted is not None:
+            # The solver may satisfy p AND not(p) only if it is wrong.
+            assert contradicted.satisfies(contradiction) is False or True
+            # Stronger: evaluating must not claim both polarities hold.
+            assert not contradicted.satisfies([literals[0], not_(literals[0])])

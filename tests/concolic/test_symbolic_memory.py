@@ -1,0 +1,278 @@
+"""Symbolic object memory: constraint recording at the API boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concolic.abstract import AbstractValue
+from repro.concolic.symbolic_memory import (
+    ConcolicFormat,
+    ConcolicFrame,
+    SymbolicObjectMemory,
+)
+from repro.concolic.trace import PathTrace
+from repro.concolic.values import ConcolicBool, ConcolicInt, ConcolicOop, tracing
+from repro.errors import InvalidFrameAccess, InvalidMemoryAccess
+from repro.memory.bootstrap import bootstrap_memory
+from repro.memory.layout import MAX_SMALL_INT, ObjectFormat
+
+
+@pytest.fixture
+def memory():
+    mem, _ = bootstrap_memory(heap_words=2048, memory_class=SymbolicObjectMemory)
+    return mem
+
+
+def abstract_int(memory, value, name="v"):
+    oop = memory.integer_object_of(value)
+    return memory.register(ConcolicOop(oop, abstract=AbstractValue(name)))
+
+
+def recorded(trace):
+    return [str(c) for c in trace]
+
+
+class TestPredicates:
+    def test_is_integer_object_records_kind(self, memory):
+        trace = PathTrace()
+        with tracing(trace):
+            value = abstract_int(memory, 5)
+            assert bool(memory.is_integer_object(value))
+        assert recorded(trace) == ["is_small_int(v)"]
+
+    def test_are_integers_decomposes(self, memory):
+        """One literal per operand — the paper's Table 1 structure."""
+        trace = PathTrace()
+        with tracing(trace):
+            a = abstract_int(memory, 1, "a")
+            b = abstract_int(memory, 2, "b")
+            assert bool(memory.are_integers(a, b))
+        assert recorded(trace) == ["is_small_int(a)", "is_small_int(b)"]
+
+    def test_are_integers_short_circuits(self, memory):
+        trace = PathTrace()
+        with tracing(trace):
+            nil = memory.register(
+                ConcolicOop(memory.nil_object, abstract=AbstractValue("n"))
+            )
+            b = abstract_int(memory, 2, "b")
+            assert not bool(memory.are_integers(nil, b))
+        assert recorded(trace) == ["not(is_small_int(n))"]
+
+    def test_is_integer_value_decomposes_bounds(self, memory):
+        trace = PathTrace()
+        with tracing(trace):
+            value = memory.integer_value_of(abstract_int(memory, 5))
+            total = value + 1
+            assert bool(memory.is_integer_value(total))
+        assert len(trace) == 2
+        assert "le(add(int_value_of(v), 1)" in recorded(trace)[0]
+
+    def test_boolean_predicates(self, memory):
+        trace = PathTrace()
+        with tracing(trace):
+            value = memory.register(
+                ConcolicOop(memory.true_object, abstract=AbstractValue("t"))
+            )
+            assert bool(memory.is_true_object(value))
+            assert not bool(memory.is_false_object(value))
+            assert not bool(memory.is_nil_object(value))
+        assert recorded(trace) == [
+            "is_true(t)", "not(is_false(t))", "not(is_nil(t))",
+        ]
+
+    def test_identity_between_abstracts(self, memory):
+        trace = PathTrace()
+        with tracing(trace):
+            a = abstract_int(memory, 5, "a")
+            b = abstract_int(memory, 5, "b")
+            assert bool(memory.are_identical(a, b))
+        assert recorded(trace) == ["identical(a, b)"]
+
+    def test_identity_against_special_constant(self, memory):
+        trace = PathTrace()
+        with tracing(trace):
+            a = memory.register(
+                ConcolicOop(memory.nil_object, abstract=AbstractValue("a"))
+            )
+            assert bool(memory.are_identical(a, memory.nil_object))
+        assert recorded(trace) == ["is_nil(a)"]
+
+
+class TestAccessors:
+    def test_integer_value_carries_term(self, memory):
+        value = memory.integer_value_of(abstract_int(memory, 7))
+        assert isinstance(value, ConcolicInt)
+        assert str(value.symbolic) == "int_value_of(v)"
+        assert value.concrete == 7
+
+    def test_class_index_of(self, memory):
+        value = memory.class_index_of(abstract_int(memory, 7))
+        assert str(value.symbolic) == "class_index_of(v)"
+        assert value.concrete == memory.small_integer_class_index
+
+    def test_format_comparisons_record(self, memory):
+        array = memory.new_array([memory.integer_object_of(1)])
+        wrapped = memory.register(ConcolicOop(array, abstract=AbstractValue("o")))
+        trace = PathTrace()
+        with tracing(trace):
+            fmt = memory.format_of(wrapped)
+            assert isinstance(fmt, ConcolicFormat)
+            assert bool(fmt == ObjectFormat.VARIABLE_POINTERS)
+            assert bool(fmt.is_pointers)
+        assert recorded(trace) == [
+            "eq(format_of(o), 2)", "le(format_of(o), 2)",
+        ]
+
+    def test_num_slots_of(self, memory):
+        array = memory.new_array([memory.integer_object_of(1)] * 3)
+        wrapped = memory.register(ConcolicOop(array, abstract=AbstractValue("o")))
+        count = memory.num_slots_of(wrapped)
+        assert count.concrete == 3
+        assert str(count.symbolic) == "slot_count_of(o)"
+
+    def test_float_value_of(self, memory):
+        boxed = memory.float_object_of(1.5)
+        concrete_oop = boxed.concrete if isinstance(boxed, ConcolicOop) else boxed
+        wrapped = memory.register(
+            ConcolicOop(concrete_oop, abstract=AbstractValue("f"))
+        )
+        value = memory.float_value_of(wrapped)
+        assert value.concrete == 1.5
+        assert str(value.symbolic) == "float_value_of(f)"
+
+    def test_integer_object_of_keeps_shape(self, memory):
+        base = memory.integer_value_of(abstract_int(memory, 3))
+        result = memory.integer_object_of(base + 1)
+        assert isinstance(result, ConcolicOop)
+        assert result.shape[0] == "small_int"
+
+
+class TestSlots:
+    def make_object(self, memory, cls_name="Association"):
+        cls = memory.class_table.named(cls_name)
+        oop = memory.instantiate(cls)
+        return memory.register(ConcolicOop(oop, abstract=AbstractValue("o")))
+
+    def test_in_bounds_fetch_records_bound(self, memory):
+        wrapped = self.make_object(memory)
+        trace = PathTrace()
+        with tracing(trace):
+            memory.fetch_pointer(1, wrapped)
+        assert "gt(slot_count_of(o), 1)" in recorded(trace)
+
+    def test_out_of_bounds_fetch_raises_after_recording(self, memory):
+        wrapped = self.make_object(memory)
+        trace = PathTrace()
+        with tracing(trace):
+            with pytest.raises(InvalidMemoryAccess):
+                memory.fetch_pointer(5, wrapped)
+        assert "not(gt(slot_count_of(o), 5))" in recorded(trace)
+
+    def test_tagged_receiver_slot_access(self, memory):
+        value = abstract_int(memory, 3)
+        trace = PathTrace()
+        with tracing(trace):
+            with pytest.raises(InvalidMemoryAccess):
+                memory.fetch_pointer(0, value)
+        assert recorded(trace) == ["is_small_int(v)"]
+
+    def test_slot_fetch_returns_abstract_child(self, memory):
+        wrapped = self.make_object(memory)
+        child = memory.fetch_pointer(0, wrapped)
+        assert isinstance(child, ConcolicOop)
+        assert child.abstract.name == "o.slot0"
+
+    def test_raw_slot_fetch_returns_int(self, memory):
+        cls = memory.class_table.named("WordArray")
+        oop = memory.instantiate(cls, 2)
+        memory.heap.write_word(memory.slot_address(oop, 0), 99)
+        wrapped = memory.register(ConcolicOop(oop, abstract=AbstractValue("w")))
+        word = memory.fetch_pointer(0, wrapped)
+        assert isinstance(word, ConcolicInt)
+        assert word.concrete == 99
+        assert str(word.symbolic) == "w.raw0"
+
+    def test_store_then_fetch_preserves_heap_object_identity(self, memory):
+        wrapped = self.make_object(memory)
+        child = memory.new_array([memory.integer_object_of(1)])
+        value = memory.register(ConcolicOop(child, abstract=AbstractValue("x")))
+        memory.store_pointer(0, wrapped, value)
+        fetched = memory.fetch_pointer(0, wrapped)
+        assert fetched is value  # registry round-trip for heap pointers
+
+    def test_immediates_get_slot_local_identity(self, memory):
+        """Two variables sharing a concrete value must not conflate:
+        fetching a tagged int or a special object yields the slot's own
+        abstract identity, not whichever variable happened to equal it."""
+        wrapped = self.make_object(memory)
+        value = abstract_int(memory, 42, "x")
+        memory.store_pointer(0, wrapped, value)
+        memory.store_pointer(1, wrapped, memory.nil_object)
+        tagged = memory.fetch_pointer(0, wrapped)
+        special = memory.fetch_pointer(1, wrapped)
+        assert tagged.abstract.name == "o.slot0"
+        assert special.abstract.name == "o.slot1"
+
+
+class TestConcolicFrame:
+    def make_frame(self, memory, stack=(), temps=()):
+        from repro.bytecode.methods import MethodBuilder, SymbolTable
+
+        method = MethodBuilder(memory, SymbolTable(memory)).temps(16).build()
+        return ConcolicFrame(
+            memory.nil_object, method, input_stack=list(stack),
+            input_temps=list(temps),
+        )
+
+    def test_empty_stack_access_records_and_raises(self, memory):
+        frame = self.make_frame(memory)
+        trace = PathTrace()
+        with tracing(trace):
+            with pytest.raises(InvalidFrameAccess):
+                frame.stack_value(1)
+        assert recorded(trace) == ["not(gt(stack_size, 1))"]
+
+    def test_satisfied_access_records_positive(self, memory):
+        frame = self.make_frame(memory, stack=[1, 2])
+        trace = PathTrace()
+        with tracing(trace):
+            frame.stack_value(1)
+        assert recorded(trace) == ["gt(stack_size, 1)"]
+
+    def test_pushed_values_need_no_constraint(self, memory):
+        frame = self.make_frame(memory)
+        frame.push(memory.integer_object_of(1))
+        trace = PathTrace()
+        with tracing(trace):
+            assert frame.stack_value(0) == memory.integer_object_of(1)
+        assert len(trace) == 0
+
+    def test_consumed_inputs_deepen_requirements(self, memory):
+        frame = self.make_frame(memory, stack=[10, 20])
+        trace = PathTrace()
+        with tracing(trace):
+            frame.pop()  # consumes one input (depth 0)
+            frame.pop()  # consumes the second (total requirement: 2)
+            with pytest.raises(InvalidFrameAccess):
+                frame.stack_value(0)  # would need a third input
+        assert recorded(trace)[-1] == "not(gt(stack_size, 2))"
+
+    def test_pop_then_push(self, memory):
+        frame = self.make_frame(memory, stack=[10, 20])
+        trace = PathTrace()
+        with tracing(trace):
+            frame.pop_then_push(2, 30)
+        assert frame.stack == [30]
+        assert recorded(trace) == ["gt(stack_size, 1)"]
+
+    def test_temp_access(self, memory):
+        frame = self.make_frame(memory, temps=[5])
+        trace = PathTrace()
+        with tracing(trace):
+            assert frame.temp_at(0) == 5
+            with pytest.raises(InvalidFrameAccess):
+                frame.temp_at(3)
+        assert recorded(trace) == [
+            "gt(temp_count, 0)", "not(gt(temp_count, 3))",
+        ]

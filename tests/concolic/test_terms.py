@@ -1,0 +1,104 @@
+"""Unit tests for the symbolic term language and its evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concolic.terms import (
+    EvaluationError,
+    Sort,
+    compare,
+    const,
+    evaluate,
+    float_binary,
+    int_binary,
+    int_to_float,
+    kind_predicate,
+    not_,
+    oop_attribute,
+    var,
+)
+
+
+def make_env(values):
+    def env(op, payload):
+        return values[(op, payload)]
+
+    return env
+
+
+class TestConstruction:
+    def test_const_sort_inference(self):
+        assert const(1).sort == Sort.INT
+        assert const(1.5).sort == Sort.FLOAT
+        assert const(True).sort == Sort.BOOL
+
+    def test_const_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            const("hello")
+
+    def test_lifting_in_binary(self):
+        term = int_binary("add", var("x", Sort.INT), 3)
+        assert term.args[1].is_const
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            int_binary("pow", 1, 2)
+        with pytest.raises(ValueError):
+            compare("spaceship", 1, 2)
+
+    def test_double_negation_cancels(self):
+        term = kind_predicate("is_nil", var("v", Sort.OOP))
+        assert not_(not_(term)) is term
+
+    def test_str_rendering(self):
+        term = compare("lt", var("x", Sort.INT), 5)
+        assert str(term) == "lt(x, 5)"
+
+    def test_variables_iteration(self):
+        term = int_binary("add", var("x", Sort.INT), var("y", Sort.INT))
+        assert {v.args[0] for v in term.variables()} == {"x", "y"}
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        term = int_binary("add", var("x", Sort.INT), 3)
+        assert evaluate(term, make_env({("var", "x"): 4})) == 7
+
+    def test_comparison(self):
+        term = compare("le", var("x", Sort.INT), 3)
+        assert evaluate(term, make_env({("var", "x"): 3})) is True
+        assert evaluate(term, make_env({("var", "x"): 4})) is False
+
+    def test_not(self):
+        term = not_(compare("eq", var("x", Sort.INT), 0))
+        assert evaluate(term, make_env({("var", "x"): 1})) is True
+
+    def test_kind_predicate(self):
+        term = kind_predicate("is_small_int", var("v", Sort.OOP))
+        assert evaluate(term, make_env({("is_small_int", "v"): True})) is True
+
+    def test_oop_attribute(self):
+        term = oop_attribute("int_value_of", var("v", Sort.OOP))
+        assert evaluate(term, make_env({("int_value_of", "v"): 42})) == 42
+
+    def test_float_ops(self):
+        term = float_binary("mul", var("f", Sort.FLOAT), 2.0)
+        assert evaluate(term, make_env({("var", "f"): 1.5})) == 3.0
+
+    def test_int_to_float(self):
+        term = int_to_float(var("x", Sort.INT))
+        assert evaluate(term, make_env({("var", "x"): 3})) == 3.0
+
+    def test_division_by_zero_is_evaluation_error(self):
+        term = int_binary("floordiv", 1, var("x", Sort.INT))
+        with pytest.raises(EvaluationError):
+            evaluate(term, make_env({("var", "x"): 0}))
+
+    def test_shift_semantics(self):
+        term = int_binary("shl", 3, 4)
+        assert evaluate(term, make_env({})) == 48
+
+    def test_quo_truncates_toward_zero(self):
+        term = int_binary("quo", -7, 2)
+        assert evaluate(term, make_env({})) == -3

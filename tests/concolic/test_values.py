@@ -1,0 +1,177 @@
+"""Concolic value semantics: propagation, recording, concretization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concolic.abstract import AbstractValue
+from repro.concolic.terms import Sort, const, evaluate, var
+from repro.concolic.trace import PathTrace
+from repro.concolic.values import (
+    ConcolicBool,
+    ConcolicFloat,
+    ConcolicInt,
+    ConcolicOop,
+    tracing,
+)
+
+
+def sym_int(name, concrete):
+    return ConcolicInt(concrete, var(name, Sort.INT))
+
+
+class TestConcolicInt:
+    def test_concrete_arithmetic(self):
+        a = ConcolicInt(3)
+        result = a + 4
+        assert result.concrete == 7
+        assert result.symbolic is None  # both sides concrete
+
+    def test_symbolic_propagation(self):
+        a = sym_int("x", 3)
+        result = a + 4
+        assert result.concrete == 7
+        assert str(result.symbolic) == "add(x, 4)"
+
+    def test_reflected_operands(self):
+        a = sym_int("x", 3)
+        result = 10 - a
+        assert result.concrete == 7
+        assert str(result.symbolic) == "sub(10, x)"
+
+    def test_comparison_yields_concolic_bool(self):
+        a = sym_int("x", 3)
+        check = a < 5
+        assert isinstance(check, ConcolicBool)
+        assert check.concrete is True
+        assert str(check.symbolic) == "lt(x, 5)"
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arithmetic_matches_python(self, a, b):
+        sa = sym_int("a", a)
+        for op in ("__add__", "__sub__", "__mul__", "__and__", "__or__",
+                   "__xor__"):
+            concolic = getattr(sa, op)(b)
+            expected = getattr(a, op)(b)
+            assert concolic.concrete == expected
+
+    def test_division_matches_floor_semantics(self):
+        assert (sym_int("a", -7) // 2).concrete == -4
+        assert (sym_int("a", -7) % 2).concrete == 1
+
+    def test_shifts(self):
+        assert (sym_int("a", 3) << 4).concrete == 48
+        assert (sym_int("a", 48) >> 4).concrete == 3
+        assert (1 << ConcolicInt(3)).concrete == 8
+
+    def test_invert(self):
+        value = ~sym_int("a", 5)
+        assert value.concrete == -6
+        env = lambda op, payload: {"a": 5}[payload]
+        assert evaluate(value.symbolic, env) == -6
+
+    def test_concretizing_escapes(self):
+        a = sym_int("x", 6)
+        assert int(a) == 6
+        assert float(a) == 6.0
+        assert a.bit_length() == 3
+        assert list(range(ConcolicInt(3))) == [0, 1, 2]
+
+    def test_symbolic_evaluation_consistency(self):
+        a = sym_int("x", 3)
+        b = sym_int("y", -4)
+        result = (a * b) + (a - b)
+        env = lambda op, payload: {"x": 3, "y": -4}[payload]
+        assert evaluate(result.symbolic, env) == result.concrete
+
+
+class TestConcolicBool:
+    def test_truth_test_records(self):
+        trace = PathTrace()
+        with tracing(trace):
+            check = sym_int("x", 3) < 5
+            assert bool(check)
+        assert len(trace) == 1
+        assert trace.constraints[0].taken is True
+
+    def test_false_polarity_recorded(self):
+        trace = PathTrace()
+        with tracing(trace):
+            bool(sym_int("x", 9) < 5)
+        assert trace.constraints[0].taken is False
+
+    def test_no_recording_outside_trace(self):
+        trace = PathTrace()
+        bool(sym_int("x", 3) < 5)  # no active trace
+        assert len(trace) == 0
+
+    def test_concrete_bools_not_recorded(self):
+        trace = PathTrace()
+        with tracing(trace):
+            bool(ConcolicBool(True, None))
+        assert len(trace) == 0
+
+    def test_boolean_comparison_decomposes(self):
+        trace = PathTrace()
+        with tracing(trace):
+            left = sym_int("x", -1) < 0
+            right = sym_int("y", 1) < 0
+            assert (left != right) is True
+        assert len(trace) == 2  # both sides recorded separately
+
+    def test_consecutive_duplicates_squashed(self):
+        trace = PathTrace()
+        with tracing(trace):
+            check = sym_int("x", 3) < 5
+            bool(check)
+            bool(check)
+        assert len(trace) == 1
+
+
+class TestConcolicFloat:
+    def test_arithmetic(self):
+        a = ConcolicFloat(1.5, var("f", Sort.FLOAT))
+        result = a * 2.0
+        assert result.concrete == 3.0
+        assert str(result.symbolic) == "fmul(f, 2.0)"
+
+    def test_math_functions_concretize(self):
+        a = ConcolicFloat(4.0, var("f", Sort.FLOAT))
+        assert math.sqrt(a) == 2.0
+
+    def test_comparisons_record(self):
+        trace = PathTrace()
+        with tracing(trace):
+            bool(ConcolicFloat(1.0, var("f", Sort.FLOAT)) < 2.0)
+        assert len(trace) == 1
+
+    def test_truncation(self):
+        assert int(ConcolicFloat(3.9)) == 3
+
+    def test_negation(self):
+        a = ConcolicFloat(2.5, var("f", Sort.FLOAT))
+        assert (-a).concrete == -2.5
+
+
+class TestConcolicOop:
+    def test_int_value_term_from_abstract(self):
+        oop = ConcolicOop(7, abstract=AbstractValue("recv"))
+        assert str(oop.int_value_term()) == "int_value_of(recv)"
+
+    def test_int_value_term_from_shape(self):
+        term = const(5)
+        oop = ConcolicOop(11, shape=("small_int", term))
+        assert oop.int_value_term() is term
+
+    def test_float_value_term(self):
+        oop = ConcolicOop(0x2000, abstract=AbstractValue("stack0"))
+        assert str(oop.float_value_term()) == "float_value_of(stack0)"
+
+    def test_plain_oop_has_no_terms(self):
+        oop = ConcolicOop(0x2000)
+        assert oop.int_value_term() is None
+        assert oop.variable is None

@@ -1,0 +1,39 @@
+"""Shared fixtures: a bootstrapped VM (memory + interpreter + builder)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bytecode.methods import MethodBuilder, SymbolTable
+from repro.interpreter.interpreter import Interpreter
+from repro.memory.bootstrap import WellKnown, bootstrap_memory
+from repro.memory.object_memory import ObjectMemory
+
+
+@dataclass
+class VM:
+    """Everything a test needs to execute code."""
+
+    memory: ObjectMemory
+    known: WellKnown
+    interpreter: Interpreter
+    symbols: SymbolTable
+
+    def builder(self) -> MethodBuilder:
+        return MethodBuilder(self.memory, self.symbols)
+
+    def int_oop(self, value: int) -> int:
+        return self.memory.integer_object_of(value)
+
+    def float_oop(self, value: float) -> int:
+        return self.memory.float_object_of(value)
+
+
+@pytest.fixture
+def vm() -> VM:
+    memory, known = bootstrap_memory(heap_words=64 * 1024)
+    symbols = SymbolTable(memory)
+    interpreter = Interpreter(memory, symbols)
+    return VM(memory, known, interpreter, symbols)

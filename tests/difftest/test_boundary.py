@@ -1,0 +1,92 @@
+"""Boundary-witness enrichment unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.opcodes import bytecode_named
+from repro.concolic.explorer import BytecodeInstructionSpec, explore_bytecode
+from repro.concolic.solver import SolverContext
+from repro.difftest.boundary import (
+    MAX_BOUNDARY_WITNESSES,
+    _positive_small_int_vars,
+    boundary_models,
+)
+from repro.difftest.runner import CampaignConfig
+from repro.difftest.runner import test_instruction as run_instruction_test
+from repro.jit.machine.x86 import X86Backend
+from repro.jit.stack_to_register import StackToRegisterCogit
+from repro.memory.bootstrap import bootstrap_memory
+
+
+@pytest.fixture(scope="module")
+def context():
+    memory, _ = bootstrap_memory(heap_words=512)
+    return SolverContext.from_memory(memory)
+
+
+def int_success_path(name="bytecodePrimLessThan"):
+    result = explore_bytecode(bytecode_named(name))
+    for path in result.paths:
+        rendered = [str(c) for c in path.constraints]
+        if (
+            "is_small_int(stack0)" in rendered
+            and "is_small_int(stack1)" in rendered
+        ):
+            return path
+    raise AssertionError("no integer path found")
+
+
+class TestBoundaryModels:
+    def test_int_vars_extracted(self):
+        path = int_success_path()
+        assert set(_positive_small_int_vars(path)) == {"stack0", "stack1"}
+
+    def test_models_satisfy_path(self, context):
+        path = int_success_path()
+        literals = [c.literal for c in path.constraints]
+        models = boundary_models(path, context)
+        assert models
+        for model in models:
+            assert model.satisfies(literals)
+
+    def test_equality_boundary_is_sampled(self, context):
+        path = int_success_path()
+        models = boundary_models(path, context)
+        assert any(
+            model.kind_of("stack0").value == model.kind_of("stack1").value
+            for model in models
+        )
+
+    def test_capped(self, context):
+        path = int_success_path()
+        assert len(boundary_models(path, context)) <= MAX_BOUNDARY_WITNESSES
+
+    def test_models_differ_from_original(self, context):
+        path = int_success_path()
+        original = repr(path.model.to_dict())
+        for model in boundary_models(path, context):
+            assert repr(model.to_dict()) != original
+
+    def test_no_int_vars_means_no_models(self, context):
+        result = explore_bytecode(bytecode_named("pushTrue"))
+        assert boundary_models(result.paths[0], context) == []
+
+
+class TestEnrichedRuns:
+    def test_clean_instruction_stays_clean_with_enrichment(self):
+        config = CampaignConfig(
+            backends=(X86Backend,), boundary_witnesses=True
+        )
+        spec = BytecodeInstructionSpec(bytecode_named("bytecodePrimEqual"))
+        result = run_instruction_test(spec, StackToRegisterCogit, config)
+        unexpected = [
+            c for c in result.differences()
+            if "trampoline send" not in (c.detail or "")
+        ]
+        assert not unexpected
+        # Enrichment actually added executions.
+        plain = run_instruction_test(
+            spec, StackToRegisterCogit, CampaignConfig(backends=(X86Backend,))
+        )
+        assert len(result.comparisons) > len(plain.comparisons)

@@ -1,0 +1,133 @@
+"""Curation rules and report assembly tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.opcodes import bytecode_named
+from repro.concolic.explorer import (
+    BytecodeInstructionSpec,
+    ExplorationResult,
+    explore_bytecode,
+)
+from repro.difftest.curation import curate_paths, is_curated_in
+from repro.difftest.report import (
+    Distribution,
+    exploration_times,
+    format_distributions,
+    format_table2,
+    format_table3,
+    paths_per_instruction,
+    table2,
+    table3,
+)
+from repro.difftest.runner import CampaignConfig, CompilerReport, run_campaign
+from repro.jit.machine.x86 import X86Backend
+
+
+class TestCuration:
+    def test_real_paths_are_curated_in(self):
+        result = explore_bytecode(bytecode_named("bytecodePrimAdd"))
+        curated = curate_paths(result.paths)
+        assert len(curated) == len(result.paths)
+
+    def test_unsatisfiable_model_curated_out(self):
+        result = explore_bytecode(bytecode_named("bytecodePrimAdd"))
+        path = result.paths[1]
+        # Corrupt the model so it no longer satisfies the constraints.
+        path.model.int_values["stack_size"] = 0
+        assert not is_curated_in(path)
+
+    def test_unresolvable_selector_curated_out(self):
+        from repro.interpreter.exits import ExitResult
+
+        result = explore_bytecode(bytecode_named("pushTrue"))
+        path = result.paths[0]
+        object.__setattr__(path, "exit",
+                           ExitResult.message_send("selector@0x123", 0))
+        assert not is_curated_in(path)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    config = CampaignConfig(
+        max_bytecodes=12, max_natives=8, backends=(X86Backend,)
+    )
+    return run_campaign(config)
+
+
+class TestReports:
+    def test_table2_has_totals_row(self, small_campaign):
+        rows = table2(small_campaign)
+        assert len(rows) == 5
+        assert rows[-1][0] == "Total"
+        assert rows[-1][1] == sum(r.tested_instructions for r in small_campaign)
+
+    def test_table2_formatting(self, small_campaign):
+        text = format_table2(small_campaign)
+        assert "Native Methods (primitives)" in text
+        assert "Total" in text
+
+    def test_table3_total_is_cause_sum(self, small_campaign):
+        rows = table3(small_campaign)
+        assert rows[-1][0] == "Total"
+        assert rows[-1][1] == sum(count for _, count in rows[:-1])
+
+    def test_table3_formatting(self, small_campaign):
+        text = format_table3(small_campaign)
+        assert "behavioural difference" in text
+
+    def test_paths_per_instruction_partitions_by_kind(self, small_campaign):
+        explorations = [
+            result.exploration
+            for report in small_campaign
+            for result in report.results
+        ]
+        distributions = paths_per_instruction(explorations)
+        assert set(distributions) == {"bytecode", "native"}
+        assert distributions["native"].values
+
+    def test_exploration_times_non_negative(self, small_campaign):
+        explorations = [
+            result.exploration
+            for report in small_campaign
+            for result in report.results
+        ]
+        for dist in exploration_times(explorations).values():
+            assert all(value >= 0 for value in dist.values)
+
+
+class TestDistribution:
+    def test_statistics(self):
+        dist = Distribution("d", [1, 2, 3, 10])
+        assert dist.mean == 4.0
+        assert dist.median == 2.5
+        assert dist.minimum == 1
+        assert dist.maximum == 10
+
+    def test_empty_distribution(self):
+        dist = Distribution("d")
+        assert dist.mean == 0.0
+        assert dist.median == 0.0
+
+    def test_formatting(self):
+        text = format_distributions("T", {"a": Distribution("a", [1.0])})
+        assert text.startswith("T")
+        assert "n=   1" in text
+
+
+class TestCompilerReport:
+    def test_percentage(self):
+        report = CompilerReport("c", curated_paths=200, differing_paths=10)
+        assert report.difference_percentage == 5.0
+
+    def test_zero_paths(self):
+        report = CompilerReport("c")
+        assert report.difference_percentage == 0.0
+
+    def test_row_rendering(self):
+        report = CompilerReport(
+            "c", tested_instructions=1, interpreter_paths=2,
+            curated_paths=2, differing_paths=1,
+        )
+        assert report.row() == ("c", 1, 2, 2, "1 (50.00%)")

@@ -1,0 +1,198 @@
+"""Fault injection: does the tester catch defects it has never seen?
+
+Mutation-style validation of the differential tester itself: we break a
+compiler (or the interpreter) in ways *not* present in the seeded
+defect corpus and assert the pipeline reports a difference.  If any of
+these mutants survived, the tool would be blind to that defect class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.opcodes import bytecode_named
+from repro.concolic.explorer import BytecodeInstructionSpec, NativeMethodSpec
+from repro.difftest.runner import CampaignConfig
+from repro.difftest.runner import test_instruction as run_instruction_test
+from repro.interpreter.primitives import primitive_named
+from repro.jit.compiler import BytecodeCogit
+from repro.jit.machine.x86 import X86Backend
+from repro.jit.native_templates import NativeMethodCompiler
+from repro.jit.stack_to_register import StackToRegisterCogit
+from repro.memory.layout import MAX_SMALL_INT
+
+X86_ONLY = CampaignConfig(backends=(X86Backend,))
+
+
+def differences_of(spec, compiler_class):
+    result = run_instruction_test(spec, compiler_class, X86_ONLY)
+    return result.differences()
+
+
+class TestCompilerMutants:
+    def test_inverted_comparison_is_caught(self, monkeypatch):
+        """Mutant: compiled `<` actually computes `>`."""
+        original = BytecodeCogit._gen_int_comparison
+
+        def mutant(self, selector, condition):
+            if condition == "lt":
+                condition = "gt"
+            return original(self, selector, condition)
+
+        monkeypatch.setattr(BytecodeCogit, "_gen_int_comparison", mutant)
+        spec = BytecodeInstructionSpec(bytecode_named("bytecodePrimLessThan"))
+        diffs = differences_of(spec, StackToRegisterCogit)
+        assert any(d.difference_kind == "output_mismatch" for d in diffs)
+
+    def test_boundary_comparison_mutant_needs_enriched_witnesses(
+        self, monkeypatch
+    ):
+        """`<` mutated to `<=` escapes the plain one-witness-per-path
+        testing (the interpreter never branches on a comparison result,
+        so no path condition pins the equality boundary — the paper's
+        witness granularity has the same blind spot) but is killed by
+        the boundary-witness extension (repro.difftest.boundary)."""
+        original = BytecodeCogit._gen_int_comparison
+
+        def mutant(self, selector, condition):
+            if condition == "lt":
+                condition = "le"
+            return original(self, selector, condition)
+
+        monkeypatch.setattr(BytecodeCogit, "_gen_int_comparison", mutant)
+        spec = BytecodeInstructionSpec(bytecode_named("bytecodePrimLessThan"))
+
+        plain = run_instruction_test(spec, StackToRegisterCogit, X86_ONLY)
+        assert not [
+            d for d in plain.differences()
+            if d.difference_kind == "output_mismatch"
+        ], "plain witnesses sampling the boundary? update the docs"
+
+        enriched_config = CampaignConfig(
+            backends=(X86Backend,), boundary_witnesses=True
+        )
+        enriched = run_instruction_test(
+            spec, StackToRegisterCogit, enriched_config
+        )
+        assert [
+            d for d in enriched.differences()
+            if d.difference_kind == "output_mismatch"
+        ], "boundary witnesses must kill the off-by-one comparison mutant"
+
+    def test_missing_overflow_check_is_caught(self, monkeypatch):
+        """Mutant: compiled + skips the MAX_SMALL_INT range check."""
+        original = BytecodeCogit._gen_int_binary_arith
+
+        def mutant(self, selector, alu_op):
+            if not self.inline_int_arithmetic:
+                self._send(selector, 1)
+                return
+            self.gen_flush()
+            ir = self.ir
+            slow = ir.fresh_label("slow")
+            done = ir.fresh_label("done")
+            self.gen_top_now(self.ARG, 0)
+            self.gen_top_now(self.RCVR, 1)
+            ir.check_small_int(self.RCVR, slow)
+            ir.check_small_int(self.ARG, slow)
+            ir.move(self.TMP_A, self.RCVR)
+            ir.untag(self.TMP_A)
+            ir.move(self.TMP_B, self.ARG)
+            ir.untag(self.TMP_B)
+            ir.alu(alu_op, self.TMP_A, self.TMP_B)
+            # MUTATION: no overflow check at all.
+            ir.tag(self.TMP_A)
+            self.gen_drop_now(2)
+            self.gen_push_register_now(self.TMP_A)
+            ir.jump(done)
+            ir.label(slow)
+            self._send(selector, 1)
+            ir.label(done)
+
+        monkeypatch.setattr(BytecodeCogit, "_gen_int_binary_arith", mutant)
+        spec = BytecodeInstructionSpec(bytecode_named("bytecodePrimAdd"))
+        diffs = differences_of(spec, StackToRegisterCogit)
+        # Overflow paths: interpreter sends, mutant falls through with a
+        # wrapped result.
+        assert any(d.difference_kind == "exit_mismatch" for d in diffs)
+
+    def test_wrong_constant_is_caught(self, monkeypatch):
+        """Mutant: pushTrue compiles to pushing false."""
+        def mutant(self, unit):
+            self.gen_push_literal(self.memory.false_object)
+
+        monkeypatch.setattr(BytecodeCogit, "gen_pushTrue", mutant)
+        spec = BytecodeInstructionSpec(bytecode_named("pushTrue"))
+        diffs = differences_of(spec, StackToRegisterCogit)
+        assert diffs and diffs[0].difference_kind == "output_mismatch"
+
+    def test_off_by_one_slot_index_is_caught(self, monkeypatch):
+        """Mutant: pushReceiverVariable reads the *next* slot."""
+        def mutant(self, unit):
+            self._load_receiver(self.RCVR)
+            self.ir.load_slot(
+                self.TMP_A, self.RCVR, unit.bytecode.embedded_index + 1
+            )
+            self.gen_push_register(self.TMP_A)
+
+        monkeypatch.setattr(BytecodeCogit, "gen_pushReceiverVariable", mutant)
+        spec = BytecodeInstructionSpec(bytecode_named("pushReceiverVariable0"))
+        diffs = differences_of(spec, StackToRegisterCogit)
+        assert diffs, "reading a neighbouring slot must differ observably"
+
+
+class TestNativeTemplateMutants:
+    def test_swapped_alu_operation_is_caught(self, monkeypatch):
+        """Mutant: the add template subtracts."""
+        def mutant(self):
+            self._int_binary("sub")
+
+        monkeypatch.setattr(NativeMethodCompiler, "tpl_primitiveAdd", mutant)
+        spec = NativeMethodSpec(primitive_named("primitiveAdd"))
+        diffs = differences_of(spec, NativeMethodCompiler)
+        assert any(d.difference_kind == "output_mismatch" for d in diffs)
+
+    def test_missing_argument_check_is_caught(self, monkeypatch):
+        """Mutant: primitiveSize skips the indexable-format check."""
+        def mutant(self):
+            self.ir.load_num_slots("R5", "R0")
+            self._return_tagged("R5")
+
+        monkeypatch.setattr(NativeMethodCompiler, "tpl_primitiveSize", mutant)
+        spec = NativeMethodSpec(primitive_named("primitiveSize"))
+        diffs = differences_of(spec, NativeMethodCompiler)
+        # Fixed-format receivers: interpreter fails, mutant returns.
+        assert any(d.difference_kind in ("exit_mismatch", "machine_fault")
+                   for d in diffs)
+
+    def test_inverted_boolean_is_caught(self, monkeypatch):
+        """Mutant: identity comparison answers the opposite."""
+        def mutant(self):
+            self.ir.compare("R0", "R1")
+            self._return_boolean_of_flags("ne")  # should be "eq"
+
+        monkeypatch.setattr(NativeMethodCompiler, "tpl_primitiveIdentical",
+                            mutant)
+        spec = NativeMethodSpec(primitive_named("primitiveIdentical"))
+        diffs = differences_of(spec, NativeMethodCompiler)
+        assert any(d.difference_kind == "output_mismatch" for d in diffs)
+
+
+class TestInterpreterMutants:
+    def test_interpreter_mutation_is_caught_too(self, monkeypatch):
+        """Differential testing is symmetric: breaking the *interpreter*
+        must also surface (the paper found interpreter bugs this way)."""
+        from repro.interpreter.interpreter import Interpreter
+
+        original = Interpreter.bc_pushZero
+
+        def mutant(self, frame, bytecode, operands):
+            frame.push(self.memory.integer_object_of(1))  # wrong constant
+            from repro.interpreter.exits import ExitResult
+
+            return ExitResult.success()
+
+        monkeypatch.setattr(Interpreter, "bc_pushZero", mutant)
+        spec = BytecodeInstructionSpec(bytecode_named("pushZero"))
+        diffs = differences_of(spec, StackToRegisterCogit)
+        assert diffs and diffs[0].difference_kind == "output_mismatch"

@@ -1,0 +1,123 @@
+"""Systematic matrix tests: every arithmetic byte-code family × operand
+type combination (int/int, float/float, int/float, object operands).
+
+These pin the static-type-prediction policy (paper Listing 1 and the
+optimisation-difference discussion in Section 5.3): integers and floats
+inline, everything else leaves through a send.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interpreter.exits import ExitCondition
+from tests.interpreter.test_step_bytecodes import make_frame
+
+BINARY_ARITH = {
+    "bytecodePrimAdd": ("+", lambda a, b: a + b),
+    "bytecodePrimSubtract": ("-", lambda a, b: a - b),
+    "bytecodePrimMultiply": ("*", lambda a, b: a * b),
+}
+COMPARISONS = {
+    "bytecodePrimLessThan": ("<", lambda a, b: a < b),
+    "bytecodePrimGreaterThan": (">", lambda a, b: a > b),
+    "bytecodePrimLessOrEqual": ("<=", lambda a, b: a <= b),
+    "bytecodePrimGreaterOrEqual": (">=", lambda a, b: a >= b),
+    "bytecodePrimEqual": ("=", lambda a, b: a == b),
+    "bytecodePrimNotEqual": ("~=", lambda a, b: a != b),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BINARY_ARITH))
+class TestBinaryArithmeticMatrix:
+    def test_int_int_inlines(self, vm, name):
+        _, op = BINARY_ARITH[name]
+        frame = make_frame(vm, [name], stack=[vm.int_oop(9), vm.int_oop(4)])
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(op(9, 4))]
+
+    def test_float_float_inlines(self, vm, name):
+        _, op = BINARY_ARITH[name]
+        frame = make_frame(
+            vm, [name], stack=[vm.float_oop(2.5), vm.float_oop(0.5)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert vm.memory.float_value_of(frame.stack[0]) == op(2.5, 0.5)
+
+    def test_int_float_sends(self, vm, name):
+        selector, _ = BINARY_ARITH[name]
+        frame = make_frame(
+            vm, [name], stack=[vm.int_oop(1), vm.float_oop(2.0)]
+        )
+        result = vm.interpreter.step(frame)
+        assert result.condition == ExitCondition.MESSAGE_SEND
+        assert result.selector == selector
+
+    def test_float_int_sends(self, vm, name):
+        frame = make_frame(
+            vm, [name], stack=[vm.float_oop(2.0), vm.int_oop(1)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.MESSAGE_SEND
+
+    def test_object_operand_sends(self, vm, name):
+        frame = make_frame(
+            vm, [name], stack=[vm.memory.nil_object, vm.int_oop(1)]
+        )
+        result = vm.interpreter.step(frame)
+        assert result.condition == ExitCondition.MESSAGE_SEND
+        assert len(frame.stack) == 2  # operands preserved for the send
+
+
+@pytest.mark.parametrize("name", sorted(COMPARISONS))
+class TestComparisonMatrix:
+    @pytest.mark.parametrize("left,right", [(1, 2), (2, 1), (3, 3)])
+    def test_int_comparisons(self, vm, name, left, right):
+        _, op = COMPARISONS[name]
+        frame = make_frame(
+            vm, [name], stack=[vm.int_oop(left), vm.int_oop(right)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.memory.boolean_object_of(op(left, right))]
+
+    @pytest.mark.parametrize("left,right", [(1.5, 2.5), (2.5, 1.5), (1.5, 1.5)])
+    def test_float_comparisons(self, vm, name, left, right):
+        _, op = COMPARISONS[name]
+        frame = make_frame(
+            vm, [name], stack=[vm.float_oop(left), vm.float_oop(right)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.memory.boolean_object_of(op(left, right))]
+
+    def test_mixed_sends(self, vm, name):
+        frame = make_frame(
+            vm, [name], stack=[vm.int_oop(1), vm.float_oop(1.0)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.MESSAGE_SEND
+
+
+class TestNegativeZeroAndNaN:
+    def test_float_nan_comparisons(self, vm):
+        nan = vm.float_oop(float("nan"))
+        frame = make_frame(vm, ["bytecodePrimEqual"], stack=[nan, nan])
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.memory.false_object]
+
+    def test_float_nan_not_equal(self, vm):
+        nan = vm.float_oop(float("nan"))
+        frame = make_frame(vm, ["bytecodePrimNotEqual"], stack=[nan, nan])
+        vm.interpreter.step(frame)
+        assert frame.stack == [vm.memory.true_object]
+
+    def test_signed_zero_equality(self, vm):
+        pos = vm.float_oop(0.0)
+        neg = vm.float_oop(-0.0)
+        frame = make_frame(vm, ["bytecodePrimEqual"], stack=[pos, neg])
+        vm.interpreter.step(frame)
+        assert frame.stack == [vm.memory.true_object]
+
+    def test_float_division_by_negative_zero_sends(self, vm):
+        frame = make_frame(
+            vm, ["bytecodePrimDivide"],
+            stack=[vm.float_oop(1.0), vm.float_oop(-0.0)],
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.MESSAGE_SEND

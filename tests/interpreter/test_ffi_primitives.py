@@ -1,0 +1,256 @@
+"""Unit tests for the FFI acceleration primitives.
+
+These are the paper's missing-functionality family: fully implemented
+in the interpreter (tested here), never implemented in the 32-bit
+native-method compiler (tested in the difftest suite).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode.methods import MethodBuilder
+from repro.interpreter.exits import ExitCondition
+from repro.interpreter.frame import Frame
+from repro.interpreter.primitives import primitive_named
+
+
+def external(vm, size_bytes):
+    cls = vm.memory.class_table.named("ExternalAddress")
+    return vm.memory.instantiate(cls, (size_bytes + 3) // 4)
+
+
+def run_prim(vm, name, receiver, *arguments):
+    native = primitive_named(name)
+    frame = Frame(vm.memory.nil_object, MethodBuilder(vm.memory, vm.symbols).build())
+    frame.push(receiver)
+    for argument in arguments:
+        frame.push(argument)
+    result = vm.interpreter.call_primitive(native, frame, len(arguments))
+    return result, frame
+
+
+class TestIntegerAccess:
+    def test_write_read_int8_round_trip(self, vm):
+        buffer = external(vm, 8)
+        ok, _ = run_prim(vm, "primitiveFFIWriteInt8", buffer,
+                         vm.int_oop(3), vm.int_oop(-5))
+        assert ok.condition == ExitCondition.SUCCESS
+        result, frame = run_prim(vm, "primitiveFFIReadInt8", buffer, vm.int_oop(3))
+        assert frame.stack == [vm.int_oop(-5)]
+
+    def test_unsigned_view_of_negative_byte(self, vm):
+        buffer = external(vm, 4)
+        run_prim(vm, "primitiveFFIWriteInt8", buffer, vm.int_oop(0), vm.int_oop(-1))
+        _, frame = run_prim(vm, "primitiveFFIReadUint8", buffer, vm.int_oop(0))
+        assert frame.stack == [vm.int_oop(255)]
+
+    def test_int16_little_endian_packing(self, vm):
+        buffer = external(vm, 4)
+        run_prim(vm, "primitiveFFIWriteUint16", buffer, vm.int_oop(0),
+                 vm.int_oop(0x1234))
+        run_prim(vm, "primitiveFFIWriteUint16", buffer, vm.int_oop(2),
+                 vm.int_oop(0x5678))
+        assert vm.memory.fetch_pointer(0, buffer) == 0x56781234
+
+    def test_unaligned_access_fails(self, vm):
+        buffer = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFIReadInt16", buffer, vm.int_oop(1))
+        assert result.condition == ExitCondition.FAILURE
+        result, _ = run_prim(vm, "primitiveFFIReadInt32", buffer, vm.int_oop(2))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_out_of_bounds_fails(self, vm):
+        buffer = external(vm, 4)
+        result, _ = run_prim(vm, "primitiveFFIReadInt32", buffer, vm.int_oop(4))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_negative_offset_fails(self, vm):
+        buffer = external(vm, 4)
+        result, _ = run_prim(vm, "primitiveFFIReadInt8", buffer, vm.int_oop(-1))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_non_external_receiver_fails(self, vm):
+        array = vm.memory.new_array([])
+        result, _ = run_prim(vm, "primitiveFFIReadInt8", array, vm.int_oop(0))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_write_value_range_checked(self, vm):
+        buffer = external(vm, 4)
+        result, _ = run_prim(vm, "primitiveFFIWriteInt8", buffer,
+                             vm.int_oop(0), vm.int_oop(200))
+        assert result.condition == ExitCondition.FAILURE
+        result, _ = run_prim(vm, "primitiveFFIWriteUint8", buffer,
+                             vm.int_oop(0), vm.int_oop(200))
+        assert result.condition == ExitCondition.SUCCESS
+
+    def test_int64_write_read(self, vm):
+        buffer = external(vm, 16)
+        ok, _ = run_prim(vm, "primitiveFFIWriteInt64", buffer,
+                         vm.int_oop(8), vm.int_oop(-123456))
+        assert ok.condition == ExitCondition.SUCCESS
+        _, frame = run_prim(vm, "primitiveFFIReadInt64", buffer, vm.int_oop(8))
+        assert frame.stack == [vm.int_oop(-123456)]
+
+    def test_uint32_beyond_small_int_fails_on_read(self, vm):
+        buffer = external(vm, 4)
+        vm.memory.store_pointer(0, buffer, 0xFFFFFFFF)
+        result, _ = run_prim(vm, "primitiveFFIReadUint32", buffer, vm.int_oop(0))
+        assert result.condition == ExitCondition.FAILURE  # 2^32-1 > max
+
+    @given(offset=st.integers(0, 3), value=st.integers(-128, 127))
+    @settings(max_examples=25, deadline=None)
+    def test_int8_round_trip_property(self, offset, value):
+        # Build the VM inside the example: hypothesis reuses the test
+        # function, so a function-scoped fixture would leak state.
+        from tests.conftest import VM
+        from repro.bytecode.methods import SymbolTable
+        from repro.interpreter.interpreter import Interpreter
+        from repro.memory.bootstrap import bootstrap_memory
+
+        memory, known = bootstrap_memory(heap_words=2048)
+        symbols = SymbolTable(memory)
+        vm = VM(memory, known, Interpreter(memory, symbols), symbols)
+        buffer = external(vm, 4)
+        run_prim(vm, "primitiveFFIWriteInt8", buffer,
+                 vm.int_oop(offset), vm.int_oop(value))
+        _, frame = run_prim(vm, "primitiveFFIReadInt8", buffer, vm.int_oop(offset))
+        assert frame.stack == [vm.int_oop(value)]
+
+
+class TestFloatAccess:
+    def test_float64_round_trip(self, vm):
+        buffer = external(vm, 8)
+        ok, _ = run_prim(vm, "primitiveFFIWriteFloat64", buffer,
+                         vm.int_oop(0), vm.float_oop(2.718281828))
+        assert ok.condition == ExitCondition.SUCCESS
+        _, frame = run_prim(vm, "primitiveFFIReadFloat64", buffer, vm.int_oop(0))
+        assert vm.memory.float_value_of(frame.stack[0]) == 2.718281828
+
+    def test_float32_precision_loss(self, vm):
+        buffer = external(vm, 4)
+        run_prim(vm, "primitiveFFIWriteFloat32", buffer,
+                 vm.int_oop(0), vm.float_oop(1.1))
+        _, frame = run_prim(vm, "primitiveFFIReadFloat32", buffer, vm.int_oop(0))
+        value = vm.memory.float_value_of(frame.stack[0])
+        assert value == struct.unpack("<f", struct.pack("<f", 1.1))[0]
+
+    def test_float32_out_of_range_fails(self, vm):
+        buffer = external(vm, 4)
+        result, _ = run_prim(vm, "primitiveFFIWriteFloat32", buffer,
+                             vm.int_oop(0), vm.float_oop(1e39))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_float64_alignment(self, vm):
+        buffer = external(vm, 16)
+        result, _ = run_prim(vm, "primitiveFFIReadFloat64", buffer, vm.int_oop(4))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_non_float_value_fails(self, vm):
+        buffer = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFIWriteFloat64", buffer,
+                             vm.int_oop(0), vm.int_oop(1))
+        assert result.condition == ExitCondition.FAILURE
+
+
+class TestBuffers:
+    def test_allocate_and_byte_size(self, vm):
+        result, frame = run_prim(vm, "primitiveFFIAllocate", vm.int_oop(10))
+        assert result.condition == ExitCondition.SUCCESS
+        buffer = frame.stack[0]
+        _, frame = run_prim(vm, "primitiveFFIByteSize", buffer)
+        assert frame.stack == [vm.int_oop(12)]  # rounded up to words
+
+    def test_allocate_range_checked(self, vm):
+        for bad in (0, -1, 5000):
+            result, _ = run_prim(vm, "primitiveFFIAllocate", vm.int_oop(bad))
+            assert result.condition == ExitCondition.FAILURE
+
+    def test_fill(self, vm):
+        buffer = external(vm, 8)
+        ok, _ = run_prim(vm, "primitiveFFIFill", buffer,
+                         vm.int_oop(0xAB), vm.int_oop(6))
+        assert ok.condition == ExitCondition.SUCCESS
+        assert vm.memory.fetch_pointer(0, buffer) == 0xABABABAB
+        assert vm.memory.fetch_pointer(1, buffer) == 0x0000ABAB
+
+    def test_fill_count_checked(self, vm):
+        buffer = external(vm, 4)
+        result, _ = run_prim(vm, "primitiveFFIFill", buffer,
+                             vm.int_oop(1), vm.int_oop(5))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_copy_bytes(self, vm):
+        src = external(vm, 8)
+        dst = external(vm, 8)
+        run_prim(vm, "primitiveFFIFill", src, vm.int_oop(0x5A), vm.int_oop(8))
+        ok, _ = run_prim(vm, "primitiveFFICopyBytes", dst, src, vm.int_oop(5))
+        assert ok.condition == ExitCondition.SUCCESS
+        assert vm.memory.fetch_pointer(0, dst) == 0x5A5A5A5A
+        assert vm.memory.fetch_pointer(1, dst) == 0x0000005A
+
+    def test_copy_bounds(self, vm):
+        src = external(vm, 4)
+        dst = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFICopyBytes", dst, src, vm.int_oop(8))
+        assert result.condition == ExitCondition.FAILURE
+
+
+class TestStructFields:
+    def test_field_indexing_by_width(self, vm):
+        buffer = external(vm, 16)
+        # field 3 of an int16 struct lives at byte offset 4.
+        run_prim(vm, "primitiveFFIStructInt16AtPut", buffer,
+                 vm.int_oop(3), vm.int_oop(-7))
+        _, frame = run_prim(vm, "primitiveFFIStructInt16At", buffer, vm.int_oop(3))
+        assert frame.stack == [vm.int_oop(-7)]
+
+    def test_field_out_of_struct_fails(self, vm):
+        buffer = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFIStructInt32At", buffer, vm.int_oop(3))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_field_index_one_based(self, vm):
+        buffer = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFIStructInt8At", buffer, vm.int_oop(0))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_uint64_field_round_trip(self, vm):
+        buffer = external(vm, 8)
+        ok, _ = run_prim(vm, "primitiveFFIStructUint64AtPut", buffer,
+                         vm.int_oop(1), vm.int_oop(1 << 30 - 1))
+        assert ok.condition == ExitCondition.SUCCESS
+        _, frame = run_prim(vm, "primitiveFFIStructUint64At", buffer, vm.int_oop(1))
+        assert frame.stack == [vm.int_oop(1 << 30 - 1)]
+
+    def test_signed_range_checks(self, vm):
+        buffer = external(vm, 4)
+        result, _ = run_prim(vm, "primitiveFFIStructInt8AtPut", buffer,
+                             vm.int_oop(1), vm.int_oop(128))
+        assert result.condition == ExitCondition.FAILURE
+
+
+class TestPointers:
+    def test_pointer_round_trip(self, vm):
+        buffer = external(vm, 8)
+        ok, _ = run_prim(vm, "primitiveFFIPointerAtPut", buffer,
+                         vm.int_oop(4), vm.int_oop(0x1000))
+        assert ok.condition == ExitCondition.SUCCESS
+        _, frame = run_prim(vm, "primitiveFFIPointerAt", buffer, vm.int_oop(4))
+        assert frame.stack == [vm.int_oop(0x1000)]
+
+    def test_pointer_alignment(self, vm):
+        buffer = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFIPointerAt", buffer, vm.int_oop(2))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_negative_address_rejected(self, vm):
+        buffer = external(vm, 8)
+        result, _ = run_prim(vm, "primitiveFFIPointerAtPut", buffer,
+                             vm.int_oop(0), vm.int_oop(-4))
+        assert result.condition == ExitCondition.FAILURE

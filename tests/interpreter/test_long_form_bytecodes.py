@@ -1,0 +1,81 @@
+"""Long-form (operand byte) byte-code encodings: interpreter semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interpreter.exits import ExitCondition
+from tests.interpreter.test_step_bytecodes import make_frame
+
+
+class TestPushIntegerByte:
+    def test_positive(self, vm):
+        frame = make_frame(vm, [("pushIntegerByte", 42)])
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(42)]
+
+    def test_negative_signed_byte(self, vm):
+        frame = make_frame(vm, [("pushIntegerByte", -5)])
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(-5)]
+
+    def test_pc_advances_past_operand(self, vm):
+        frame = make_frame(vm, [("pushIntegerByte", 1), "nop"])
+        vm.interpreter.step(frame)
+        assert frame.pc == 2
+
+
+class TestLongTemps:
+    def test_push_beyond_short_range(self, vm):
+        value = vm.int_oop(9)
+        frame = make_frame(vm, [("pushTemporaryVariableLong", 3)])
+        frame.temps[3] = value
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [value]
+
+    def test_store_keeps_stack(self, vm):
+        frame = make_frame(
+            vm, [("storeTemporaryVariableLong", 2)], stack=[vm.int_oop(7)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.temps[2] == vm.int_oop(7)
+        assert frame.stack == [vm.int_oop(7)]
+
+    def test_pop_into(self, vm):
+        frame = make_frame(
+            vm, [("popIntoTemporaryVariableLong", 1)], stack=[vm.int_oop(7)]
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.temps[1] == vm.int_oop(7)
+        assert frame.stack == []
+
+    def test_out_of_range_is_invalid_frame(self, vm):
+        frame = make_frame(vm, [("pushTemporaryVariableLong", 40)])
+        assert vm.interpreter.step(frame).condition == ExitCondition.INVALID_FRAME
+
+
+class TestLongReceiverVariables:
+    def test_push(self, vm):
+        receiver = vm.memory.instantiate(vm.known.plain_object)
+        vm.memory.store_pointer(3, receiver, vm.int_oop(5))
+        frame = make_frame(
+            vm, [("pushReceiverVariableLong", 3)], receiver=receiver
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(5)]
+
+    def test_store(self, vm):
+        receiver = vm.memory.instantiate(vm.known.plain_object)
+        frame = make_frame(
+            vm, [("storeReceiverVariableLong", 0)], receiver=receiver,
+            stack=[vm.int_oop(3)],
+        )
+        assert vm.interpreter.step(frame).condition == ExitCondition.SUCCESS
+        assert vm.memory.fetch_pointer(0, receiver) == vm.int_oop(3)
+
+    def test_tagged_receiver_is_invalid_memory(self, vm):
+        frame = make_frame(
+            vm, [("pushReceiverVariableLong", 0)], receiver=vm.int_oop(1)
+        )
+        result = vm.interpreter.step(frame)
+        assert result.condition == ExitCondition.INVALID_MEMORY_ACCESS

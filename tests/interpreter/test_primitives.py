@@ -1,0 +1,389 @@
+"""Unit tests for native methods: success, failure and stack discipline.
+
+Every primitive is *safe by design*: it must check its operands and fail
+without touching the stack.  The first test classes cover behaviour; the
+last enforces the failure-leaves-stack-untouched invariant table-wide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.methods import MethodBuilder
+from repro.interpreter.exits import ExitCondition
+from repro.interpreter.frame import Frame
+from repro.interpreter.primitives import PRIMITIVE_TABLE, primitive_named
+from repro.interpreter.primitives import testable_primitives as all_testable_primitives
+from repro.memory.bootstrap import make_behavior
+from repro.memory.layout import MAX_SMALL_INT, MIN_SMALL_INT
+
+
+def run_prim(vm, name, receiver, *arguments):
+    """Invoke a primitive with receiver+args on a scratch frame's stack."""
+    native = primitive_named(name)
+    method = MethodBuilder(vm.memory, vm.symbols).build()
+    frame = Frame(vm.memory.nil_object, method)
+    frame.push(receiver)
+    for argument in arguments:
+        frame.push(argument)
+    result = vm.interpreter.call_primitive(native, frame, len(arguments))
+    return result, frame
+
+
+class TestTableScale:
+    def test_primitive_count_matches_paper_order(self):
+        # Paper: 112 tested native-method instructions.
+        assert len(all_testable_primitives()) >= 100
+
+    def test_indices_are_unique_and_sorted_access_works(self):
+        indices = [native.index for native in all_testable_primitives()]
+        assert indices == sorted(indices)
+
+    def test_categories_present(self):
+        categories = {native.category for native in PRIMITIVE_TABLE.values()}
+        assert {"integer", "float", "array", "object", "ffi"} <= categories
+
+    def test_ffi_family_is_large(self):
+        ffi = [n for n in PRIMITIVE_TABLE.values() if n.category == "ffi"]
+        # The missing-functionality family dominates Table 3 (60/91).
+        assert len(ffi) >= 40
+
+
+class TestIntegerPrimitives:
+    def test_add(self, vm):
+        result, frame = run_prim(vm, "primitiveAdd", vm.int_oop(2), vm.int_oop(3))
+        assert result.condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(5)]
+
+    def test_add_overflow_fails(self, vm):
+        result, frame = run_prim(
+            vm, "primitiveAdd", vm.int_oop(MAX_SMALL_INT), vm.int_oop(1)
+        )
+        assert result.condition == ExitCondition.FAILURE
+        assert len(frame.stack) == 2
+
+    def test_add_type_failure(self, vm):
+        result, _ = run_prim(vm, "primitiveAdd", vm.memory.nil_object, vm.int_oop(1))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_divide_exact_only(self, vm):
+        ok, frame = run_prim(vm, "primitiveDivide", vm.int_oop(8), vm.int_oop(2))
+        assert ok.condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(4)]
+        bad, _ = run_prim(vm, "primitiveDivide", vm.int_oop(7), vm.int_oop(2))
+        assert bad.condition == ExitCondition.FAILURE
+
+    def test_divide_by_zero_fails(self, vm):
+        result, _ = run_prim(vm, "primitiveDivide", vm.int_oop(7), vm.int_oop(0))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_mod_and_div_floor(self, vm):
+        mod, frame = run_prim(vm, "primitiveMod", vm.int_oop(-7), vm.int_oop(2))
+        assert frame.stack == [vm.int_oop(1)]
+        div, frame = run_prim(vm, "primitiveDiv", vm.int_oop(-7), vm.int_oop(2))
+        assert frame.stack == [vm.int_oop(-4)]
+
+    def test_quo_truncates(self, vm):
+        _, frame = run_prim(vm, "primitiveQuo", vm.int_oop(-7), vm.int_oop(2))
+        assert frame.stack == [vm.int_oop(-3)]
+
+    def test_comparisons(self, vm):
+        result, frame = run_prim(
+            vm, "primitiveLessThan", vm.int_oop(1), vm.int_oop(2)
+        )
+        assert frame.stack == [vm.memory.true_object]
+        result, frame = run_prim(
+            vm, "primitiveGreaterOrEqual", vm.int_oop(1), vm.int_oop(2)
+        )
+        assert frame.stack == [vm.memory.false_object]
+
+    def test_bitwise_negative_fails(self, vm):
+        for name in ("primitiveBitAnd", "primitiveBitOr", "primitiveBitXor"):
+            result, _ = run_prim(vm, name, vm.int_oop(-1), vm.int_oop(1))
+            assert result.condition == ExitCondition.FAILURE, name
+
+    def test_bitwise_positive(self, vm):
+        _, frame = run_prim(vm, "primitiveBitXor", vm.int_oop(6), vm.int_oop(3))
+        assert frame.stack == [vm.int_oop(5)]
+
+    def test_bitshift_right(self, vm):
+        _, frame = run_prim(vm, "primitiveBitShift", vm.int_oop(16), vm.int_oop(-2))
+        assert frame.stack == [vm.int_oop(4)]
+
+    def test_bitshift_out_of_range_fails(self, vm):
+        result, _ = run_prim(vm, "primitiveBitShift", vm.int_oop(1), vm.int_oop(40))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_negated_overflow(self, vm):
+        result, _ = run_prim(vm, "primitiveNegated", vm.int_oop(MIN_SMALL_INT))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_high_and_low_bit(self, vm):
+        _, frame = run_prim(vm, "primitiveHighBit", vm.int_oop(12))
+        assert frame.stack == [vm.int_oop(4)]
+        _, frame = run_prim(vm, "primitiveLowBit", vm.int_oop(12))
+        assert frame.stack == [vm.int_oop(3)]
+
+    def test_sign(self, vm):
+        for value, expected in [(-5, -1), (0, 0), (5, 1)]:
+            _, frame = run_prim(vm, "primitiveSign", vm.int_oop(value))
+            assert frame.stack == [vm.int_oop(expected)]
+
+    def test_make_point(self, vm):
+        result, frame = run_prim(
+            vm, "primitiveMakePoint", vm.int_oop(3), vm.int_oop(4)
+        )
+        assert result.condition == ExitCondition.SUCCESS
+        point = frame.stack[0]
+        assert vm.memory.class_of(point).name == "Point"
+        assert vm.memory.fetch_pointer(0, point) == vm.int_oop(3)
+
+
+class TestFloatPrimitives:
+    def test_as_float_on_integer(self, vm):
+        result, frame = run_prim(vm, "primitiveAsFloat", vm.int_oop(3))
+        assert result.condition == ExitCondition.SUCCESS
+        assert vm.memory.float_value_of(frame.stack[0]) == 3.0
+
+    def test_as_float_missing_check_defect(self, vm):
+        """The paper's Listing 5 defect: pointer receivers are coerced,
+        not failed — the primitive 'succeeds' with garbage."""
+        victim = vm.memory.instantiate(vm.known.association)
+        result, frame = run_prim(vm, "primitiveAsFloat", victim)
+        assert result.condition == ExitCondition.SUCCESS  # should have failed!
+        assert vm.memory.is_float_object(frame.stack[0])
+
+    def test_float_add(self, vm):
+        result, frame = run_prim(
+            vm, "primitiveFloatAdd", vm.float_oop(1.5), vm.float_oop(2.25)
+        )
+        assert vm.memory.float_value_of(frame.stack[0]) == 3.75
+
+    def test_float_receiver_checked_in_interpreter(self, vm):
+        result, _ = run_prim(
+            vm, "primitiveFloatAdd", vm.int_oop(1), vm.float_oop(2.0)
+        )
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_float_divide_by_zero_fails(self, vm):
+        result, _ = run_prim(
+            vm, "primitiveFloatDivide", vm.float_oop(1.0), vm.float_oop(0.0)
+        )
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_float_compare(self, vm):
+        _, frame = run_prim(
+            vm, "primitiveFloatLessThan", vm.float_oop(1.0), vm.float_oop(2.0)
+        )
+        assert frame.stack == [vm.memory.true_object]
+
+    def test_truncated(self, vm):
+        _, frame = run_prim(vm, "primitiveFloatTruncated", vm.float_oop(3.9))
+        assert frame.stack == [vm.int_oop(3)]
+
+    def test_truncated_too_large_fails(self, vm):
+        result, _ = run_prim(vm, "primitiveFloatTruncated", vm.float_oop(1e300))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_sqrt_negative_fails(self, vm):
+        result, _ = run_prim(vm, "primitiveFloatSquareRoot", vm.float_oop(-1.0))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_sqrt(self, vm):
+        _, frame = run_prim(vm, "primitiveFloatSquareRoot", vm.float_oop(9.0))
+        assert vm.memory.float_value_of(frame.stack[0]) == 3.0
+
+    def test_exponent(self, vm):
+        _, frame = run_prim(vm, "primitiveFloatExponent", vm.float_oop(8.0))
+        assert frame.stack == [vm.int_oop(3)]
+
+    def test_times_two_power(self, vm):
+        _, frame = run_prim(
+            vm, "primitiveFloatTimesTwoPower", vm.float_oop(1.5), vm.int_oop(2)
+        )
+        assert vm.memory.float_value_of(frame.stack[0]) == 6.0
+
+    def test_log_domain(self, vm):
+        result, _ = run_prim(vm, "primitiveFloatLogN", vm.float_oop(-1.0))
+        assert result.condition == ExitCondition.FAILURE
+
+
+class TestArrayPrimitives:
+    def test_at_on_array(self, vm):
+        array = vm.memory.new_array([vm.int_oop(10), vm.int_oop(20)])
+        result, frame = run_prim(vm, "primitiveAt", array, vm.int_oop(2))
+        assert result.condition == ExitCondition.SUCCESS
+        assert frame.stack == [vm.int_oop(20)]
+
+    def test_at_bounds(self, vm):
+        array = vm.memory.new_array([vm.int_oop(10)])
+        for index in (0, 2, -1):
+            result, _ = run_prim(vm, "primitiveAt", array, vm.int_oop(index))
+            assert result.condition == ExitCondition.FAILURE
+
+    def test_at_on_fixed_object_fails(self, vm):
+        obj = vm.memory.instantiate(vm.known.plain_object)
+        result, _ = run_prim(vm, "primitiveAt", obj, vm.int_oop(1))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_at_put_and_read_back(self, vm):
+        array = vm.memory.new_array([vm.memory.nil_object])
+        value = vm.int_oop(99)
+        result, frame = run_prim(
+            vm, "primitiveAtPut", array, vm.int_oop(1), value
+        )
+        assert result.condition == ExitCondition.SUCCESS
+        assert frame.stack == [value]
+        assert vm.memory.fetch_pointer(0, array) == value
+
+    def test_byte_array_at_put_range(self, vm):
+        bytes_obj = vm.memory.instantiate(vm.known.byte_array, 4)
+        result, _ = run_prim(
+            vm, "primitiveAtPut", bytes_obj, vm.int_oop(1), vm.int_oop(300)
+        )
+        assert result.condition == ExitCondition.FAILURE
+        result, _ = run_prim(
+            vm, "primitiveAtPut", bytes_obj, vm.int_oop(1), vm.int_oop(255)
+        )
+        assert result.condition == ExitCondition.SUCCESS
+
+    def test_size(self, vm):
+        array = vm.memory.new_array([vm.int_oop(0)] * 7)
+        _, frame = run_prim(vm, "primitiveSize", array)
+        assert frame.stack == [vm.int_oop(7)]
+
+    def test_size_of_smallint_fails(self, vm):
+        result, _ = run_prim(vm, "primitiveSize", vm.int_oop(3))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_string_at(self, vm):
+        string = vm.memory.instantiate(vm.known.byte_string, 3)
+        vm.memory.store_pointer(0, string, 65)
+        _, frame = run_prim(vm, "primitiveStringAt", string, vm.int_oop(1))
+        assert frame.stack == [vm.int_oop(65)]
+
+    def test_string_at_on_array_fails(self, vm):
+        array = vm.memory.new_array([vm.int_oop(0)])
+        result, _ = run_prim(vm, "primitiveStringAt", array, vm.int_oop(1))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_replace_from_to(self, vm):
+        src = vm.memory.new_array([vm.int_oop(i) for i in (1, 2, 3, 4)])
+        dst = vm.memory.new_array([vm.int_oop(0)] * 4)
+        result, _ = run_prim(
+            vm,
+            "primitiveReplaceFromToWithStartingAt",
+            dst,
+            vm.int_oop(2),
+            vm.int_oop(4),
+            src,
+            vm.int_oop(1),
+        )
+        assert result.condition == ExitCondition.SUCCESS
+        values = [vm.memory.integer_value_of(e) for e in vm.memory.array_elements(dst)]
+        assert values == [0, 1, 2, 3]
+
+    def test_replace_range_checks(self, vm):
+        src = vm.memory.new_array([vm.int_oop(1)])
+        dst = vm.memory.new_array([vm.int_oop(0)] * 2)
+        result, _ = run_prim(
+            vm,
+            "primitiveReplaceFromToWithStartingAt",
+            dst,
+            vm.int_oop(1),
+            vm.int_oop(2),
+            src,
+            vm.int_oop(1),
+        )
+        assert result.condition == ExitCondition.FAILURE
+
+
+class TestObjectPrimitives:
+    def test_new(self, vm):
+        behavior = make_behavior(vm.memory, vm.known.point)
+        result, frame = run_prim(vm, "primitiveNew", behavior)
+        assert result.condition == ExitCondition.SUCCESS
+        assert vm.memory.class_of(frame.stack[0]).name == "Point"
+
+    def test_new_on_variable_class_fails(self, vm):
+        behavior = make_behavior(vm.memory, vm.known.array)
+        result, _ = run_prim(vm, "primitiveNew", behavior)
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_new_with_arg(self, vm):
+        behavior = make_behavior(vm.memory, vm.known.array)
+        result, frame = run_prim(vm, "primitiveNewWithArg", behavior, vm.int_oop(5))
+        assert result.condition == ExitCondition.SUCCESS
+        assert vm.memory.num_slots_of(frame.stack[0]) == 5
+
+    def test_new_with_arg_on_non_behavior_fails(self, vm):
+        result, _ = run_prim(
+            vm, "primitiveNewWithArg", vm.memory.nil_object, vm.int_oop(5)
+        )
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_inst_var_at(self, vm):
+        point = vm.memory.instantiate(vm.known.point)
+        vm.memory.store_pointer(1, point, vm.int_oop(4))
+        _, frame = run_prim(vm, "primitiveInstVarAt", point, vm.int_oop(2))
+        assert frame.stack == [vm.int_oop(4)]
+
+    def test_inst_var_at_put_raw_object_fails(self, vm):
+        words = vm.memory.instantiate(vm.known.word_array, 2)
+        result, _ = run_prim(
+            vm, "primitiveInstVarAtPut", words, vm.int_oop(1), vm.int_oop(0)
+        )
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_shallow_copy(self, vm):
+        array = vm.memory.new_array([vm.int_oop(5), vm.memory.nil_object])
+        result, frame = run_prim(vm, "primitiveShallowCopy", array)
+        copy = frame.stack[0]
+        assert copy != array
+        assert vm.memory.array_elements(copy) == vm.memory.array_elements(array)
+
+    def test_identity(self, vm):
+        a = vm.memory.new_array([])
+        _, frame = run_prim(vm, "primitiveIdentical", a, a)
+        assert frame.stack == [vm.memory.true_object]
+        _, frame = run_prim(vm, "primitiveNotIdentical", a, vm.memory.nil_object)
+        assert frame.stack == [vm.memory.true_object]
+
+    def test_class_primitive(self, vm):
+        _, frame = run_prim(vm, "primitiveClass", vm.int_oop(1))
+        assert frame.stack == [vm.int_oop(vm.known.small_integer.index)]
+
+    def test_identity_hash_of_smallint_fails(self, vm):
+        result, _ = run_prim(vm, "primitiveIdentityHash", vm.int_oop(1))
+        assert result.condition == ExitCondition.FAILURE
+
+    def test_object_at_reads_method_literal(self, vm):
+        builder = MethodBuilder(vm.memory, vm.symbols)
+        builder.literal(vm.int_oop(42))
+        method = builder.build()
+        _, frame = run_prim(vm, "primitiveObjectAt", method.oop, vm.int_oop(2))
+        assert frame.stack == [vm.int_oop(42)]
+
+
+class TestFailureStackDiscipline:
+    """Failing native methods must leave the operand stack untouched."""
+
+    def test_all_primitives_preserve_stack_on_type_failure(self, vm):
+        nil = vm.memory.nil_object
+        for native in all_testable_primitives():
+            if native.name == "primitiveAsFloat":
+                continue  # the documented missing-check defect
+            if native.name in ("primitiveClass", "primitiveIdentical",
+                               "primitiveNotIdentical", "primitiveIdentityHash",
+                               "primitiveShallowCopy", "primitiveByteSize"):
+                continue  # total on any non-immediate receiver (nil included)
+            method = MethodBuilder(vm.memory, vm.symbols).build()
+            frame = Frame(nil, method)
+            operands = [nil] * (native.argument_count + 1)
+            for operand in operands:
+                frame.push(operand)
+            result = vm.interpreter.call_primitive(
+                native, frame, native.argument_count
+            )
+            assert result.condition == ExitCondition.FAILURE, native.name
+            assert frame.stack == operands, native.name

@@ -1,0 +1,159 @@
+"""Integration tests: full method execution with sends and primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.errors import VMError
+from repro.interpreter.frame import Frame
+
+
+def build_method(vm, instructions, *, args=0, temps=None, literals=(), primitive=0):
+    builder = vm.builder().args(args).temps(temps if temps is not None else args)
+    if primitive:
+        builder.primitive(primitive)
+    for literal in literals:
+        if isinstance(literal, str):
+            builder.selector_literal(literal)
+        else:
+            builder.literal(literal)
+    for byte in assemble(instructions):
+        builder.emit(byte)
+    return builder.build()
+
+
+class TestStraightLine:
+    def test_constant_return(self, vm):
+        method = build_method(vm, ["pushTwo", "returnTop"])
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, method))
+        assert result == vm.int_oop(2)
+
+    def test_arithmetic_expression(self, vm):
+        # (1 + 2) * 2 = 6
+        method = build_method(
+            vm,
+            ["pushOne", "pushTwo", "bytecodePrimAdd", "pushTwo",
+             "bytecodePrimMultiply", "returnTop"],
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, method))
+        assert vm.memory.integer_value_of(result) == 6
+
+    def test_conditional(self, vm):
+        # if 1 < 2 then 1 else 0
+        method = build_method(
+            vm,
+            [
+                "pushOne",
+                "pushTwo",
+                "bytecodePrimLessThan",
+                "shortJumpIfFalse1",
+                "returnTrue",
+                "returnFalse",
+            ],
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, method))
+        assert result == vm.memory.true_object
+
+    def test_loop_countdown(self, vm):
+        # temp0 := 2; [temp0 > 0] whileTrue: [temp0 := temp0 - 1]; ^temp0
+        method = build_method(
+            vm,
+            [
+                "pushTwo",
+                "popIntoTemporaryVariable0",
+                "pushTemporaryVariable0",  # pc 2
+                "pushZero",
+                "bytecodePrimGreaterThan",
+                "shortJumpIfFalse5",  # exit to pc 12 (6 + 5+1)
+                "pushTemporaryVariable0",
+                "pushOne",
+                "bytecodePrimSubtract",
+                "popIntoTemporaryVariable0",
+                ("longJump", -10),  # back to pc 2
+                "pushTemporaryVariable0",
+                "returnTop",
+            ],
+            temps=1,
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, method))
+        assert vm.memory.integer_value_of(result) == 0
+
+
+class TestSendsAndActivation:
+    def test_send_activates_installed_method(self, vm):
+        # double := [:x | x + x]; 21 double = 42
+        double = build_method(
+            vm,
+            ["pushTemporaryVariable0", "pushTemporaryVariable0",
+             "bytecodePrimAdd", "returnTop"],
+            args=1,
+        )
+        vm.interpreter.install_method(
+            vm.known.small_integer.index, "double:", double
+        )
+        selector = vm.symbols.intern("double:")
+        main = build_method(
+            vm,
+            ["pushLiteralConstant1", "pushLiteralConstant1",
+             "sendLiteralSelector1Arg0", "returnTop"],
+            literals=[selector, vm.int_oop(21)],
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, main))
+        assert vm.memory.integer_value_of(result) == 42
+
+    def test_message_not_understood_raises(self, vm):
+        selector = vm.symbols.intern("missing")
+        main = build_method(
+            vm, ["pushOne", "sendLiteralSelector0Args0", "returnTop"],
+            literals=[selector],
+        )
+        with pytest.raises(VMError, match="message not understood"):
+            vm.interpreter.run(Frame(vm.memory.nil_object, main))
+
+    def test_primitive_method_success_skips_body(self, vm):
+        # A method with primitiveAdd: body would return nil; the
+        # primitive succeeds so the body never runs.
+        plus = build_method(vm, ["returnNil"], args=1, primitive=1)
+        vm.interpreter.install_method(vm.known.small_integer.index, "plus:", plus)
+        selector = vm.symbols.intern("plus:")
+        main = build_method(
+            vm,
+            ["pushTwo", "pushTwo", "sendLiteralSelector1Arg0", "returnTop"],
+            literals=[selector],
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, main))
+        assert vm.memory.integer_value_of(result) == 4
+
+    def test_primitive_method_failure_runs_body(self, vm):
+        # Adding nil fails the primitive; the fallback body returns false.
+        plus = build_method(vm, ["returnFalse"], args=1, primitive=1)
+        vm.interpreter.install_method(vm.known.small_integer.index, "plus:", plus)
+        selector = vm.symbols.intern("plus:")
+        main = build_method(
+            vm,
+            ["pushTwo", "pushNil", "sendLiteralSelector1Arg0", "returnTop"],
+            literals=[selector],
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, main))
+        assert result == vm.memory.false_object
+
+    def test_arithmetic_slow_path_sends_plus(self, vm):
+        # Overflowing + takes the slow path and activates the user's
+        # method for #+ (here: returns the receiver).
+        plus_method = build_method(vm, ["pushReceiver", "returnTop"], args=1)
+        vm.interpreter.install_method(vm.known.small_integer.index, "+", plus_method)
+        from repro.memory.layout import MAX_SMALL_INT
+
+        main = build_method(
+            vm,
+            ["pushLiteralConstant0", "pushOne", "bytecodePrimAdd", "returnTop"],
+            literals=[vm.int_oop(MAX_SMALL_INT)],
+        )
+        result = vm.interpreter.run(Frame(vm.memory.nil_object, main))
+        assert vm.memory.integer_value_of(result) == MAX_SMALL_INT
+
+    def test_step_budget(self, vm):
+        method = build_method(vm, ["nop", ("longJump", -3)])
+        with pytest.raises(VMError, match="budget"):
+            vm.interpreter.run(Frame(vm.memory.nil_object, method), max_steps=100)

@@ -1,0 +1,100 @@
+"""IR construction and lowering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.jit.ir import IRBuilder, SLOT_BASE_OFFSET
+from repro.jit.machine.simulator import TrampolineTable
+
+
+@pytest.fixture
+def trampolines():
+    return TrampolineTable()
+
+
+def lower(build, trampolines, register_map=None):
+    ir = IRBuilder()
+    build(ir)
+    return ir.lower(trampolines, register_map)
+
+
+class TestLowering:
+    def test_move_lowers_to_mov(self, trampolines):
+        out = lower(lambda ir: ir.move("R1", "R2"), trampolines)
+        assert [str(i) for i in out] == ["MOV_RR R1 R2"]
+
+    def test_self_move_elided(self, trampolines):
+        out = lower(lambda ir: ir.move("R1", "R1"), trampolines)
+        assert out == []
+
+    def test_check_small_int_is_test_plus_branch(self, trampolines):
+        def build(ir):
+            ir.check_small_int("R1", "slow")
+            ir.label("slow")
+
+        out = lower(build, trampolines)
+        assert out[0].op == "TST_RI" and out[0].imm == 1
+        assert out[1].op == "JE"
+
+    def test_tag_untag(self, trampolines):
+        out = lower(lambda ir: (ir.untag("R1"), ir.tag("R1")), trampolines)
+        assert [i.op for i in out] == ["SAR_RI", "SHL_RI", "OR_RI"]
+
+    def test_slot_addressing(self, trampolines):
+        out = lower(lambda ir: ir.load_slot("R1", "R2", 3), trampolines)
+        assert out[0].op == "LOAD"
+        assert out[0].imm == SLOT_BASE_OFFSET + 12
+
+    def test_indexed_addressing_uses_scratch(self, trampolines):
+        out = lower(
+            lambda ir: ir.load_indexed("R1", "R2", "R3", "R5"), trampolines
+        )
+        assert [i.op for i in out] == ["MOV_RR", "SHL_RI", "ADD", "LOAD"]
+        assert out[0].a == "R5"
+
+    def test_frame_access_offsets(self, trampolines):
+        out = lower(lambda ir: ir.load_frame_temp("R1", 2), trampolines)
+        assert out[0].b == "FP" and out[0].imm == 12
+
+    def test_trampoline_call_resolves_address(self, trampolines):
+        out = lower(lambda ir: ir.call_trampoline("send:+/1"), trampolines)
+        assert out[0].op == "CALL"
+        assert out[0].imm == trampolines.exit_trampoline("send:+/1")
+
+    def test_service_without_handler_rejected(self, trampolines):
+        with pytest.raises(CompilerError):
+            lower(lambda ir: ir.call_service("missing"), trampolines)
+
+    def test_service_with_handler_lowers(self, trampolines):
+        trampolines.service("ceAllocateFloat", lambda sim: None)
+        out = lower(lambda ir: ir.call_service("ceAllocateFloat"), trampolines)
+        assert out[0].op == "CALL"
+
+    def test_register_map_applies_to_virtuals(self, trampolines):
+        out = lower(
+            lambda ir: ir.move("T0", "T1"),
+            trampolines,
+            register_map={"T0": "R7", "T1": "R8"},
+        )
+        assert (out[0].a, out[0].b) == ("R7", "R8")
+
+    def test_unknown_op_rejected(self, trampolines):
+        ir = IRBuilder()
+        ir.emit("frobnicate", "R1")
+        with pytest.raises(CompilerError):
+            ir.lower(trampolines)
+
+    def test_bad_branch_condition_rejected(self, trampolines):
+        ir = IRBuilder()
+        with pytest.raises(CompilerError):
+            ir.jump_if("sometimes", "label")
+
+    def test_fresh_labels_unique(self, trampolines):
+        ir = IRBuilder()
+        assert ir.fresh_label() != ir.fresh_label()
+
+    def test_drop_scales_by_word_size(self, trampolines):
+        out = lower(lambda ir: ir.drop(3), trampolines)
+        assert out[0].op == "ADD_RI" and out[0].a == "SP" and out[0].imm == 12

@@ -1,0 +1,72 @@
+"""Property tests for the machine ISA encoders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jit.machine.arm32 import Arm32Backend
+from repro.jit.machine.isa import OPCODES, MachineInstruction
+from repro.jit.machine.x86 import X86Backend
+
+GENERAL = tuple(f"R{i}" for i in range(12)) + ("FP", "SP")
+FLOATS = tuple(f"F{i}" for i in range(8))
+
+#: Ops whose a/b operands are float registers.
+FLOAT_A_OPS = {"FLOAD", "FSTORE", "FMOV", "FADD", "FSUB", "FMUL", "FDIV",
+               "FCMP", "FSQRT", "CVT_IF"}
+FLOAT_B_OPS = {"FMOV", "FADD", "FSUB", "FMUL", "FDIV", "FCMP", "FSQRT",
+               "CVT_FI"}
+INT_B_OPS = {"FLOAD", "FSTORE", "CVT_IF"}
+
+
+@st.composite
+def machine_instructions(draw):
+    op = draw(st.sampled_from(sorted(OPCODES)))
+    has_a, has_b, has_imm = OPCODES[op]
+    a = b = imm = None
+    if has_a:
+        pool = FLOATS if op in FLOAT_A_OPS and op != "CVT_FI" else GENERAL
+        if op == "CVT_FI":
+            pool = GENERAL
+        a = draw(st.sampled_from(pool))
+    if has_b:
+        if op in FLOAT_B_OPS and op not in INT_B_OPS:
+            pool = FLOATS
+        elif op == "CVT_FI":
+            pool = FLOATS
+        else:
+            pool = GENERAL
+        b = draw(st.sampled_from(pool))
+    if has_imm:
+        imm = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    return MachineInstruction(op, a, b, imm)
+
+
+@pytest.mark.parametrize("backend", [X86Backend(), Arm32Backend()],
+                         ids=lambda b: b.name)
+class TestEncodingProperties:
+    @given(instructions=st.lists(machine_instructions(), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_round_trip(self, backend, instructions):
+        code = backend.assemble(instructions, 0x1000)
+        decoded = [entry[1] for entry in backend.decode(code, 0x1000)]
+        assert decoded == instructions
+
+    @given(instruction=machine_instructions())
+    @settings(max_examples=60, deadline=None)
+    def test_size_prediction_matches_encoding(self, backend, instruction):
+        encoded = backend.encode_one(instruction)
+        assert len(encoded) == backend.instruction_size(instruction)
+
+    @given(instructions=st.lists(machine_instructions(), max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_addresses_are_dense_and_ordered(self, backend, instructions):
+        code = backend.assemble(instructions, 0x2000)
+        entries = backend.decode(code, 0x2000)
+        position = 0x2000
+        for address, _instruction, size in entries:
+            assert address == position
+            position += size
+        assert position == 0x2000 + len(code)

@@ -1,0 +1,116 @@
+"""Unit tests for the flat heap and its bounds checking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HeapExhausted, InvalidMemoryAccess
+from repro.memory.heap import Heap
+from repro.memory.layout import WORD_SIZE
+
+
+@pytest.fixture
+def heap():
+    return Heap(size_words=128)
+
+
+class TestAllocation:
+    def test_allocation_is_word_aligned(self, heap):
+        a = heap.allocate(3)
+        b = heap.allocate(1)
+        assert a % WORD_SIZE == 0
+        assert b == a + 3 * WORD_SIZE
+
+    def test_allocation_is_zeroed(self, heap):
+        address = heap.allocate(4)
+        for offset in range(4):
+            assert heap.read_word(address + offset * WORD_SIZE) == 0
+
+    def test_exhaustion_raises(self, heap):
+        heap.allocate(128)
+        with pytest.raises(HeapExhausted):
+            heap.allocate(1)
+
+    def test_negative_allocation_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.allocate(-1)
+
+    def test_free_pointer_advances(self, heap):
+        start = heap.free_pointer
+        heap.allocate(2)
+        assert heap.free_pointer == start + 2 * WORD_SIZE
+
+
+class TestAccess:
+    def test_read_write_round_trip(self, heap):
+        address = heap.allocate(1)
+        heap.write_word(address, 0xDEADBEEF)
+        assert heap.read_word(address) == 0xDEADBEEF
+
+    def test_writes_are_masked_to_32_bits(self, heap):
+        address = heap.allocate(1)
+        heap.write_word(address, 1 << 40)
+        assert heap.read_word(address) == 0
+
+    def test_unallocated_read_raises(self, heap):
+        heap.allocate(1)
+        with pytest.raises(InvalidMemoryAccess):
+            heap.read_word(heap.free_pointer)
+
+    def test_below_base_read_raises(self, heap):
+        with pytest.raises(InvalidMemoryAccess):
+            heap.read_word(heap.base_address - WORD_SIZE)
+
+    def test_unaligned_access_raises(self, heap):
+        heap.allocate(2)
+        with pytest.raises(InvalidMemoryAccess):
+            heap.read_word(heap.base_address + 1)
+
+    def test_contains(self, heap):
+        address = heap.allocate(1)
+        assert heap.contains(address)
+        assert not heap.contains(heap.free_pointer)
+        assert not heap.contains(address + 1)
+
+    def test_write_count_tracks_mutations(self, heap):
+        address = heap.allocate(2)
+        before = heap.write_count
+        heap.write_word(address, 1)
+        heap.write_word(address + WORD_SIZE, 2)
+        assert heap.write_count == before + 2
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self, heap):
+        address = heap.allocate(2)
+        heap.write_word(address, 11)
+        snapshot = heap.snapshot()
+        heap.write_word(address, 22)
+        heap.allocate(3)
+        heap.restore(snapshot)
+        assert heap.read_word(address) == 11
+        assert heap.allocated_words == 2
+
+    def test_diff_reports_changed_words(self, heap):
+        address = heap.allocate(2)
+        snapshot = heap.snapshot()
+        heap.write_word(address + WORD_SIZE, 7)
+        diff = heap.diff(snapshot)
+        assert diff == {address + WORD_SIZE: (0, 7)}
+
+    def test_diff_reports_new_allocations(self, heap):
+        heap.allocate(1)
+        snapshot = heap.snapshot()
+        new = heap.allocate(1)
+        heap.write_word(new, 9)
+        assert heap.diff(snapshot) == {new: (0, 9)}
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=16))
+    def test_snapshot_is_faithful(self, values):
+        heap = Heap(size_words=32)
+        address = heap.allocate(len(values))
+        for offset, value in enumerate(values):
+            heap.write_word(address + offset * WORD_SIZE, value)
+        assert list(heap.snapshot()) == values

@@ -1,0 +1,118 @@
+"""Unit and property tests for tagging, headers and float packing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import layout
+from repro.memory.layout import (
+    MAX_SMALL_INT,
+    MIN_SMALL_INT,
+    ObjectFormat,
+    encode_header,
+    fits_small_int,
+    float_to_words,
+    header_class_index,
+    header_format,
+    is_small_int_oop,
+    small_int_oop,
+    small_int_value,
+    words_to_float,
+)
+
+small_ints = st.integers(min_value=MIN_SMALL_INT, max_value=MAX_SMALL_INT)
+
+
+class TestTagging:
+    def test_zero_round_trips(self):
+        assert small_int_value(small_int_oop(0)) == 0
+
+    def test_tagged_oop_has_low_bit_set(self):
+        assert small_int_oop(7) & 1 == 1
+        assert small_int_oop(-7) & 1 == 1
+
+    def test_bounds_are_31_bit(self):
+        assert MAX_SMALL_INT == 2**30 - 1
+        assert MIN_SMALL_INT == -(2**30)
+
+    def test_extremes_round_trip(self):
+        assert small_int_value(small_int_oop(MAX_SMALL_INT)) == MAX_SMALL_INT
+        assert small_int_value(small_int_oop(MIN_SMALL_INT)) == MIN_SMALL_INT
+
+    def test_overflowing_value_is_rejected(self):
+        with pytest.raises(OverflowError):
+            small_int_oop(MAX_SMALL_INT + 1)
+        with pytest.raises(OverflowError):
+            small_int_oop(MIN_SMALL_INT - 1)
+
+    def test_fits_small_int_edges(self):
+        assert fits_small_int(MAX_SMALL_INT)
+        assert fits_small_int(MIN_SMALL_INT)
+        assert not fits_small_int(MAX_SMALL_INT + 1)
+        assert not fits_small_int(MIN_SMALL_INT - 1)
+
+    def test_pointer_oops_are_untagged(self):
+        assert not is_small_int_oop(0x1000)
+        assert not is_small_int_oop(0)
+
+    @given(small_ints)
+    def test_round_trip_property(self, value):
+        assert small_int_value(small_int_oop(value)) == value
+
+    @given(small_ints)
+    def test_oop_fits_in_word(self, value):
+        assert 0 <= small_int_oop(value) <= layout.WORD_MASK
+
+    def test_untagging_is_unchecked_by_design(self):
+        # Untagging a pointer-shaped oop yields garbage rather than raising:
+        # safety belongs to callers (safe native methods check, unsafe
+        # bytecodes do not).
+        assert isinstance(small_int_value(0x1001), int)
+
+
+class TestHeaders:
+    def test_header_round_trip(self):
+        header = encode_header(42, ObjectFormat.VARIABLE_POINTERS)
+        assert header_class_index(header) == 42
+        assert header_format(header) == ObjectFormat.VARIABLE_POINTERS
+
+    def test_class_index_range_is_enforced(self):
+        with pytest.raises(ValueError):
+            encode_header(-1, ObjectFormat.FIXED_POINTERS)
+        with pytest.raises(ValueError):
+            encode_header(1 << 22, ObjectFormat.FIXED_POINTERS)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 22) - 1),
+        st.sampled_from(list(ObjectFormat)),
+    )
+    def test_header_round_trip_property(self, class_index, fmt):
+        header = encode_header(class_index, fmt)
+        assert header_class_index(header) == class_index
+        assert header_format(header) == fmt
+
+    def test_pointer_formats(self):
+        assert ObjectFormat.FIXED_POINTERS.is_pointers
+        assert ObjectFormat.VARIABLE_POINTERS.is_pointers
+        assert ObjectFormat.WORDS.is_raw
+        assert ObjectFormat.BOXED_FLOAT.is_raw
+
+
+class TestFloatPacking:
+    @given(st.floats(allow_nan=False))
+    def test_float_round_trip(self, value):
+        high, low = float_to_words(value)
+        assert words_to_float(high, low) == value
+
+    def test_nan_round_trips_as_nan(self):
+        high, low = float_to_words(float("nan"))
+        assert math.isnan(words_to_float(high, low))
+
+    def test_words_are_32_bit(self):
+        high, low = float_to_words(1.5)
+        assert 0 <= high <= layout.WORD_MASK
+        assert 0 <= low <= layout.WORD_MASK

@@ -1,0 +1,157 @@
+"""Unit tests for the object memory API and bootstrap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidMemoryAccess, UntaggedValueError
+from repro.memory import bootstrap_memory
+from repro.memory.layout import MAX_SMALL_INT, MIN_SMALL_INT, ObjectFormat
+
+
+@pytest.fixture
+def space():
+    return bootstrap_memory(heap_words=4096)
+
+
+class TestBootstrap:
+    def test_special_objects_are_distinct(self, space):
+        memory, _ = space
+        specials = {memory.nil_object, memory.true_object, memory.false_object}
+        assert len(specials) == 3
+
+    def test_special_objects_have_right_classes(self, space):
+        memory, known = space
+        assert memory.class_index_of(memory.nil_object) == known.undefined_object.index
+        assert memory.class_index_of(memory.true_object) == known.boolean_true.index
+        assert memory.class_index_of(memory.false_object) == known.boolean_false.index
+
+    def test_well_known_indices_are_wired(self, space):
+        memory, known = space
+        assert memory.small_integer_class_index == known.small_integer.index
+        assert memory.float_class_index == known.boxed_float.index
+        assert memory.array_class_index == known.array.index
+
+    def test_class_table_lookup_by_name(self, space):
+        memory, known = space
+        assert memory.class_table.named("Array") is known.array
+
+
+class TestIntegers:
+    def test_are_integers(self, space):
+        memory, _ = space
+        one = memory.integer_object_of(1)
+        assert memory.are_integers(one, one)
+        assert not memory.are_integers(one, memory.nil_object)
+        assert not memory.are_integers(memory.nil_object, one)
+
+    def test_small_integer_class_index(self, space):
+        memory, known = space
+        assert memory.class_index_of(memory.integer_object_of(5)) == (
+            known.small_integer.index
+        )
+
+    @given(st.integers(min_value=MIN_SMALL_INT, max_value=MAX_SMALL_INT))
+    def test_round_trip(self, value):
+        memory, _ = bootstrap_memory(heap_words=64)
+        assert memory.integer_value_of(memory.integer_object_of(value)) == value
+
+
+class TestObjects:
+    def test_instantiate_plain_object(self, space):
+        memory, known = space
+        oop = memory.instantiate(known.plain_object)
+        assert memory.num_slots_of(oop) == 4
+        assert memory.format_of(oop) == ObjectFormat.FIXED_POINTERS
+        assert all(memory.fetch_pointer(i, oop) == memory.nil_object for i in range(4))
+
+    def test_store_and_fetch_pointer(self, space):
+        memory, known = space
+        oop = memory.instantiate(known.plain_object)
+        value = memory.integer_object_of(99)
+        memory.store_pointer(2, oop, value)
+        assert memory.fetch_pointer(2, oop) == value
+
+    def test_variable_class_indexable_allocation(self, space):
+        memory, _ = space
+        array = memory.new_array([memory.integer_object_of(i) for i in range(5)])
+        assert memory.num_slots_of(array) == 5
+        assert [memory.integer_value_of(e) for e in memory.array_elements(array)] == [
+            0,
+            1,
+            2,
+            3,
+            4,
+        ]
+
+    def test_indexable_size_on_fixed_class_rejected(self, space):
+        memory, known = space
+        with pytest.raises(ValueError):
+            memory.instantiate(known.plain_object, indexable_size=2)
+
+    def test_header_access_on_tagged_int_raises(self, space):
+        memory, _ = space
+        with pytest.raises(UntaggedValueError):
+            memory.num_slots_of(memory.integer_object_of(1))
+
+    def test_unsafe_fetch_reads_neighbour(self, space):
+        """Out-of-bounds raw reads see the next object — VM-style unsafety."""
+        memory, known = space
+        first = memory.instantiate(known.association)
+        memory.instantiate(known.association)
+        # Slot 2 of a 2-slot object is the neighbour's header word.
+        neighbour_header = memory.fetch_pointer(2, first)
+        assert neighbour_header != memory.nil_object
+
+    def test_unsafe_fetch_past_heap_raises(self, space):
+        memory, known = space
+        last = memory.instantiate(known.association)
+        with pytest.raises(InvalidMemoryAccess):
+            memory.fetch_pointer(10_000, last)
+
+    def test_checked_fetch_enforces_bounds(self, space):
+        memory, known = space
+        oop = memory.instantiate(known.association)
+        with pytest.raises(InvalidMemoryAccess):
+            memory.checked_fetch_pointer(2, oop)
+        with pytest.raises(InvalidMemoryAccess):
+            memory.checked_store_pointer(-1, oop, memory.nil_object)
+
+
+class TestFloats:
+    def test_float_round_trip(self, space):
+        memory, _ = space
+        oop = memory.float_object_of(3.25)
+        assert memory.is_float_object(oop)
+        assert memory.float_value_of(oop) == 3.25
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_round_trip_property(self, value):
+        memory, _ = bootstrap_memory(heap_words=128)
+        assert memory.float_value_of(memory.float_object_of(value)) == value
+
+    def test_float_unboxing_is_unchecked(self, space):
+        """Unboxing a pointer object yields garbage bits, not an error."""
+        memory, known = space
+        victim = memory.instantiate(known.association)
+        value = memory.float_value_of(victim)
+        assert isinstance(value, float)
+
+    def test_small_int_is_not_float(self, space):
+        memory, _ = space
+        assert not memory.is_float_object(memory.integer_object_of(3))
+
+
+class TestBooleans:
+    def test_boolean_object_of(self, space):
+        memory, _ = space
+        assert memory.boolean_object_of(True) == memory.true_object
+        assert memory.boolean_object_of(False) == memory.false_object
+
+    def test_is_boolean_object(self, space):
+        memory, _ = space
+        assert memory.is_boolean_object(memory.true_object)
+        assert memory.is_boolean_object(memory.false_object)
+        assert not memory.is_boolean_object(memory.nil_object)

@@ -1,0 +1,96 @@
+"""CLI tests: every subcommand, exit codes, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, resolve_spec
+
+
+class TestResolveSpec:
+    def test_bytecode(self):
+        assert resolve_spec("bytecodePrimAdd").kind == "bytecode"
+
+    def test_primitive(self):
+        assert resolve_spec("primitiveAt").kind == "native"
+
+    def test_sequence(self):
+        spec = resolve_spec("seq:pushTrue+popStackTop")
+        assert spec.kind == "sequence"
+        assert spec.byte_size == 2
+
+    def test_unknown_bytecode(self):
+        with pytest.raises(SystemExit):
+            resolve_spec("bogusInstruction")
+
+    def test_unknown_primitive(self):
+        with pytest.raises(SystemExit):
+            resolve_spec("primitiveBogus")
+
+
+class TestCommands:
+    def test_explore(self, capsys):
+        assert main(["explore", "duplicateTop"]) == 0
+        out = capsys.readouterr().out
+        assert "2 paths" in out
+        assert "invalid_frame" in out
+
+    def test_list_bytecodes(self, capsys):
+        assert main(["list", "bytecodes"]) == 0
+        out = capsys.readouterr().out
+        assert "bytecodePrimAdd" in out
+
+    def test_list_natives(self, capsys):
+        assert main(["list", "natives"]) == 0
+        assert "primitiveFFIReadInt32" in capsys.readouterr().out
+
+    def test_list_sequences(self, capsys):
+        assert main(["list", "sequences"]) == 0
+        assert "seq:pushTrue+popStackTop" in capsys.readouterr().out
+
+    def test_test_clean_instruction_exits_zero(self, capsys):
+        assert main(["test", "pushTrue", "--backend", "x86"]) == 0
+        assert "0 differing" in capsys.readouterr().out
+
+    def test_test_defective_instruction_exits_nonzero(self, capsys):
+        code = main(["test", "primitiveFloatAdd", "--backend", "x86"])
+        assert code == 1
+        assert "differing" in capsys.readouterr().out
+
+    def test_test_compiler_selection(self, capsys):
+        code = main(["test", "bytecodePrimAdd", "--compiler", "simple",
+                     "--backend", "x86"])
+        assert code == 1  # the missing type prediction differences
+        assert "SimpleStackBasedCogit" in capsys.readouterr().out
+
+    def test_campaign_scaled(self, capsys):
+        code = main(["campaign", "--max-bytecodes", "5", "--max-natives", "3",
+                     "--backend", "x86"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Native Methods (primitives)" in out
+        assert "Total" in out
+
+    def test_sequence_campaign(self, capsys):
+        code = main(["campaign", "--sequences", "--backend", "x86"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(sequences)" in out
+        # The register compilers match the interpreter on every sequence.
+        assert "StackToRegisterCogit (sequences)" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "bytecodePrimAdd", "--backend", "arm32"]) == 0
+        out = capsys.readouterr().out
+        assert "arm32 code object" in out
+        assert "send:+/1" in out
+
+    def test_disasm_sequence(self, capsys):
+        assert main(["disasm", "seq:pushOne+pushTwo+bytecodePrimAdd"]) == 0
+        assert "brk" in capsys.readouterr().out
+
+    def test_generate(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path), "pushTrue", "primitiveAdd"])
+        assert code == 0
+        assert "generated" in capsys.readouterr().out
+        assert list(tmp_path.glob("test_*.py"))
