@@ -24,10 +24,18 @@ from repro.difftest.runner import CampaignConfig, run_campaign
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+#: The benchmarks reproduce the paper's numbers, which include the
+#: historical R10/R11 fault-describer defect ("Simulation Error" in
+#: Table 3).  The shipped simulator fixes it, so the paper-fidelity
+#: campaign re-seeds the gap explicitly.
+PAPER_DEFECTS = {"fault_describer_gaps": ("R10", "R11")}
+
+
 def campaign_config() -> CampaignConfig:
     if os.environ.get("REPRO_BENCH_SCALE") == "small":
-        return CampaignConfig(max_bytecodes=40, max_natives=30)
-    return CampaignConfig()
+        return CampaignConfig(max_bytecodes=40, max_natives=30,
+                              **PAPER_DEFECTS)
+    return CampaignConfig(**PAPER_DEFECTS)
 
 
 @pytest.fixture(scope="session")

@@ -5,8 +5,9 @@ Subcommands mirror the library's main entry points:
 * ``explore <instruction>`` — concolic path exploration (Fig. 1 step 1);
 * ``test <instruction> [--compiler C] [--backend B]`` — differential
   test of every curated path (steps 2-4);
-* ``campaign [--max-bytecodes N] [--max-natives N]`` — the full Table
-  2/3 evaluation;
+* ``campaign [--max-bytecodes N] [--max-natives N] [--deadline S]
+  [--journal PATH] [--resume] [--fail-fast]`` — the full Table 2/3
+  evaluation, with wall-clock budgeting and checkpoint/resume;
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
@@ -103,21 +104,39 @@ def cmd_test(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    from repro.difftest.report import format_quarantine
+
     config = CampaignConfig(
         max_bytecodes=args.max_bytecodes,
         max_natives=args.max_natives,
         backends=tuple(BACKENDS[b] for b in args.backend),
+        max_sim_steps=args.max_sim_steps,
+        deadline_seconds=args.deadline,
+        fail_fast=args.fail_fast,
     )
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal")
+    run_kwargs = dict(journal_path=args.journal, resume=args.resume)
     if args.sequences:
         from repro.difftest.runner import run_sequence_campaign
 
-        reports = run_sequence_campaign(config)
+        reports = run_sequence_campaign(config, **run_kwargs)
         print(format_table2(reports))
-        return 0
-    reports = run_campaign(config)
-    print(format_table2(reports))
-    print()
-    print(format_table3(reports))
+    else:
+        reports = run_campaign(config, **run_kwargs)
+        print(format_table2(reports))
+        print()
+        print(format_table3(reports))
+    quarantine_section = format_quarantine(reports.quarantine)
+    if quarantine_section:
+        print()
+        print(quarantine_section)
+    if reports.resumed_cells:
+        print(f"\nresumed {reports.resumed_cells} cells from {args.journal}")
+    if reports.budget_exhausted:
+        where = args.journal or "a journal (use --journal)"
+        print(f"\ncampaign deadline expired; resume with --resume via {where}")
+        return 2
     return 0
 
 
@@ -225,6 +244,26 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--sequences", action="store_true",
         help="run the byte-code sequence corpus instead (extension)",
+    )
+    campaign.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole campaign (default: none)",
+    )
+    campaign.add_argument(
+        "--max-sim-steps", type=int, default=20_000, metavar="N",
+        help="fuel limit per simulated machine execution (default: 20000)",
+    )
+    campaign.add_argument(
+        "--journal", metavar="PATH",
+        help="checkpoint completed cells to this JSONL file",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in --journal",
+    )
+    campaign.add_argument(
+        "--fail-fast", action="store_true",
+        help="re-raise the first cell crash instead of quarantining",
     )
     campaign.set_defaults(handler=cmd_campaign)
 

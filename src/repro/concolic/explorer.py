@@ -160,6 +160,9 @@ class ExplorationResult:
     unsat_prefixes: int = 0
     duplicate_paths: int = 0
     elapsed_seconds: float = 0.0
+    #: True when a wall-clock deadline stopped the exploration early;
+    #: the recorded paths are still valid, just not exhaustive.
+    budget_exhausted: bool = False
 
     @property
     def path_count(self) -> int:
@@ -186,10 +189,12 @@ class ConcolicExplorer:
         heap_words: int = 8 * 1024,
         max_iterations: int = 400,
         max_paths: int = 128,
+        deadline=None,
     ) -> None:
         self.spec = spec
         self.max_iterations = max_iterations
         self.max_paths = max_paths
+        self.deadline = deadline
         self.memory, self.known = bootstrap_memory(
             heap_words=heap_words, memory_class=SymbolicObjectMemory
         )
@@ -204,7 +209,16 @@ class ConcolicExplorer:
     # ------------------------------------------------------------------
 
     def explore(self) -> ExplorationResult:
-        """Run the negate-last-unnegated loop to completion."""
+        """Run the negate-last-unnegated loop to completion.
+
+        A :class:`~repro.robustness.budgets.Deadline` (when given) stops
+        the loop between iterations: exploration ends cleanly with
+        ``budget_exhausted`` set and whatever paths were found so far.
+        """
+        from repro.robustness.errors import guard
+        from repro.robustness.faults import maybe_inject
+
+        maybe_inject("explore", self.spec.name, deadline=self.deadline)
         start = time.perf_counter()
         result = ExplorationResult(self.spec.name, self.spec.kind)
         tried_prefixes: set = set()
@@ -214,9 +228,13 @@ class ConcolicExplorer:
         while worklist and result.iterations < self.max_iterations:
             if len(result.paths) >= self.max_paths:
                 break
+            if self.deadline is not None and self.deadline.expired:
+                result.budget_exhausted = True
+                break
             prefix = worklist.pop()
             result.iterations += 1
-            model = solve([c.literal for c in prefix], self.context)
+            with guard("solver"):
+                model = solve([c.literal for c in prefix], self.context)
             if model is None:
                 result.unsat_prefixes += 1
                 continue

@@ -23,6 +23,15 @@ unsatisfiable and curated out, mirroring the paper's own curation step.
 """
 
 from repro.concolic.solver.model import Kind, KindTag, Model, SolverContext
-from repro.concolic.solver.solver import UNSAT, solve
+from repro.concolic.solver.solver import UNSAT, SolveStats, solve, solve_status
 
-__all__ = ["Kind", "KindTag", "Model", "SolverContext", "solve", "UNSAT"]
+__all__ = [
+    "Kind",
+    "KindTag",
+    "Model",
+    "SolveStats",
+    "SolverContext",
+    "solve",
+    "solve_status",
+    "UNSAT",
+]

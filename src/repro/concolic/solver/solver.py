@@ -15,6 +15,12 @@
 Soundness comes from step 5: no unverified model is ever returned.
 Completeness is deliberately bounded (search caps), mirroring the
 paper's curation of paths its prototype cannot handle.
+
+Budget exhaustion is a first-class verdict: :func:`solve_status`
+returns the model together with :class:`SolveStats`, whose ``status``
+distinguishes a decisive ``"unsat"`` from an ``"unknown"`` caused by a
+truncated search — the campaign engine and the strategy-agreement
+property tests rely on that distinction.
 """
 
 from __future__ import annotations
@@ -35,6 +41,26 @@ from repro.memory.layout import MAX_SMALL_INT, MIN_SMALL_INT
 
 #: Returned (as None) when no model is found.
 UNSAT = None
+
+
+@dataclass
+class SolveStats:
+    """How one solve() call ended — the budget-accounting sidecar.
+
+    ``status`` is ``"sat"`` (model returned), ``"unsat"`` (search space
+    exhausted without truncation), or ``"unknown"`` (a node/assignment
+    budget truncated the search, or the conjunction uses an unsupported
+    shape — no verdict can be trusted as complete).
+    """
+
+    status: str = "unsat"
+    nodes: int = 0
+    #: True when any witness search or the assignment enumeration was
+    #: cut short by a budget.
+    truncated: bool = False
+    #: True when the model was found by the random-repair fallback
+    #: rather than the systematic search.
+    repair_used: bool = False
 
 _NEGATED_COMPARISON = {
     "lt": "ge",
@@ -109,7 +135,12 @@ def _scan_vars(term: Term, problem: _Problem) -> None:
             _scan_vars(arg, problem)
 
 
-def _normalize(literals: list[Term], context: SolverContext) -> _Problem | None:
+def _normalize(literals: list[Term], context: SolverContext):
+    """(problem, None) on success, (None, verdict) when undecidable here.
+
+    The verdict distinguishes a trivially-false literal (``"unsat"``,
+    decisive) from an unsupported literal shape (``"unknown"``).
+    """
     problem = _Problem(context)
     for literal in literals:
         positive = True
@@ -133,11 +164,11 @@ def _normalize(literals: list[Term], context: SolverContext) -> _Problem | None:
             _scan_vars(term, problem)
         elif term.is_const:
             if bool(term.args[0]) != positive:
-                return None  # trivially false literal
+                return None, "unsat"  # trivially false literal
         else:
-            # Bare boolean var or unsupported shape — treat as unknown.
-            return None
-    return problem
+            # Bare boolean var or unsupported shape — no verdict.
+            return None, "unknown"
+    return problem, None
 
 
 class _UnionFind:
@@ -356,7 +387,7 @@ def _literal_dependencies(term: Term, free: dict, uf: _UnionFind) -> set:
 
 
 def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
-                      budget=None):
+                      budget=None, stats=None):
     """Witness search over the numeric residual.
 
     ``strategy="backtracking"`` (the default) assigns variables one at
@@ -399,6 +430,8 @@ def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
             if nodes > limit:
                 if budget is not None:
                     budget[0] -= nodes
+                if stats is not None:
+                    stats.truncated = True
                 return False
             for name, value in zip(names, combination):
                 _store_value(assignment, name, value, free)
@@ -440,15 +473,23 @@ def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
         budget[0] -= nodes[0]
     if found:
         return True
+    if nodes[0] > limit and stats is not None:
+        stats.truncated = True
     # Last resort: random repair for pathological pools.
     for name in names:
         _store_value(assignment, name, pools[name][0], free)
     for _ in range(_MAX_REPAIR_ITERATIONS):
         if all(_check_literal(lit, env) for lit, deps in dependencies if deps):
+            if stats is not None:
+                stats.repair_used = True
             return True
         name = rng.choice(names)
         _store_value(assignment, name, rng.choice(pools[name]), free)
-    return all(_check_literal(lit, env) for lit, deps in dependencies if deps)
+    if all(_check_literal(lit, env) for lit, deps in dependencies if deps):
+        if stats is not None:
+            stats.repair_used = True
+        return True
+    return False
 
 
 def solve(
@@ -456,17 +497,44 @@ def solve(
     context: SolverContext,
     seed: int = 0xC0FFEE,
     strategy: str = "backtracking",
+    max_nodes: int | None = None,
 ) -> Model | None:
     """Find a model of the conjunction *literals*, or None.
 
     ``strategy`` selects the witness search: ``"backtracking"`` (default)
-    or the naive ``"product"`` baseline (ablation only).
+    or the naive ``"product"`` baseline (ablation only).  ``max_nodes``
+    caps the total witness-search nodes (the solver's fuel budget).
     """
-    problem = _normalize(list(literals), context)
+    model, _stats = solve_status(literals, context, seed, strategy, max_nodes)
+    return model
+
+
+def solve_status(
+    literals: list[Term],
+    context: SolverContext,
+    seed: int = 0xC0FFEE,
+    strategy: str = "backtracking",
+    max_nodes: int | None = None,
+) -> tuple:
+    """Like :func:`solve`, but returns ``(model, SolveStats)``.
+
+    The stats make budget exhaustion observable: ``status`` is
+    ``"unknown"`` (not ``"unsat"``) when a search cap truncated the
+    decision procedure, so callers can distinguish "no model exists"
+    from "ran out of fuel looking".
+    """
+    from repro.robustness.faults import maybe_inject
+
+    maybe_inject("solve")
+    stats = SolveStats()
+    problem, verdict = _normalize(list(literals), context)
     if problem is None:
-        return None
+        stats.status = verdict
+        stats.truncated = verdict == "unknown"
+        return None, stats
     rng = random.Random(seed)
-    node_budget = [_MAX_TOTAL_NODES]
+    total = _MAX_TOTAL_NODES if max_nodes is None else max_nodes
+    node_budget = [total]
 
     # --- identity theory -------------------------------------------------
     uf = _UnionFind()
@@ -479,7 +547,7 @@ def solve(
         if not positive
     ]
     if any(a == b for a, b in distinct_pairs):
-        return None
+        return None, stats
 
     # --- kind domains -----------------------------------------------------
     representatives = sorted({uf.find(name) for name in problem.oop_vars})
@@ -491,7 +559,7 @@ def solve(
         else:
             domains[rep] -= {tag}
         if not domains[rep]:
-            return None
+            return None, stats
 
     class_constrained = {uf.find(name) for name in problem.class_constrained}
 
@@ -532,7 +600,10 @@ def solve(
         ):
             assignments_tried += 1
             if assignments_tried > _MAX_KIND_ASSIGNMENTS:
-                return None
+                stats.status = "unknown"
+                stats.truncated = True
+                stats.nodes = total - node_budget[0]
+                return None, stats
             assignment = _Assignment(
                 kinds=dict(kind_map),
                 classes=dict(zip(object_vars, class_combo)),
@@ -540,14 +611,23 @@ def solve(
                 float_values={},
             )
             if node_budget[0] <= 0:
-                return None  # solve budget exhausted: treat as unknown
+                # Solve budget exhausted: unknown, not UNSAT.
+                stats.status = "unknown"
+                stats.truncated = True
+                stats.nodes = total - node_budget[0]
+                return None, stats
             if not _search_witnesses(problem, assignment, uf, rng, strategy,
-                                     node_budget):
+                                     node_budget, stats):
                 continue
             model = _finalize(problem, assignment, uf)
             if model is not None and model.satisfies(list(literals)):
-                return model
-    return None
+                stats.status = "sat"
+                stats.nodes = total - node_budget[0]
+                return model, stats
+    stats.nodes = total - node_budget[0]
+    if stats.truncated:
+        stats.status = "unknown"
+    return None, stats
 
 
 def _finalize(problem: _Problem, assignment: _Assignment, uf: _UnionFind):

@@ -58,6 +58,8 @@ from repro.jit.machine.simulator import (
 )
 from repro.memory.bootstrap import bootstrap_memory
 from repro.memory.layout import WORD_SIZE
+from repro.robustness.errors import BudgetExhausted, guard
+from repro.robustness.faults import maybe_inject
 
 
 class Status(enum.Enum):
@@ -71,6 +73,9 @@ class Status(enum.Enum):
     #: Paths our prototype cannot run (compile limitations) — the
     #: paper's curation step.
     CURATED = "curated"
+    #: The pipeline itself crashed on this cell (classified by the
+    #: robustness layer); not a behavioural difference.
+    CRASHED = "crashed"
 
 
 @dataclass
@@ -114,9 +119,13 @@ FRAME_WORDS = 1 + 16
 class DifferentialTester:
     """Runs interpreter-vs-compiled comparisons for one instruction."""
 
-    def __init__(self, spec, backend, compiler_class) -> None:
+    def __init__(self, spec, backend, compiler_class, *,
+                 max_sim_steps: int = 20_000, deadline=None,
+                 fault_describer_gaps: tuple = ()) -> None:
         self.spec = spec
         self.backend = backend
+        self.max_sim_steps = max_sim_steps
+        self.deadline = deadline
         self.memory, self.known = bootstrap_memory(
             heap_words=8 * 1024, memory_class=SymbolicObjectMemory
         )
@@ -127,7 +136,8 @@ class DifferentialTester:
         self.trampolines = TrampolineTable()
         self._register_services()
         self.simulator = MachineSimulator(
-            self.memory.heap, self.code_cache, self.trampolines
+            self.memory.heap, self.code_cache, self.trampolines,
+            fault_describer_gaps=fault_describer_gaps,
         )
         self.compiler = compiler_class(
             self.memory, self.trampolines, self.code_cache, backend, self.symbols
@@ -197,9 +207,12 @@ class DifferentialTester:
         memory._registry.clear()
 
         # --- materialize the shared input state -----------------------
-        materializer = Materializer(memory, model if model is not None
-                                    else path.model)
-        frame = materializer.materialize_frame(self.method)
+        with guard("harness"):
+            maybe_inject("harness", self.spec.name, self.compiler.name,
+                         deadline=self.deadline)
+            materializer = Materializer(memory, model if model is not None
+                                        else path.model)
+            frame = materializer.materialize_frame(self.method)
         input_heap = memory.heap.snapshot()
         input_stack = [oop_concrete(value) for value in frame.stack]
         input_temps = [oop_concrete(value) for value in frame.temps]
@@ -246,7 +259,10 @@ class DifferentialTester:
             sequence=tuple(getattr(self.spec, "sequence", ())),
         )
         try:
-            compiled = self.compiler.compile(unit)
+            with guard("compiler", expected=(CompilerError,)):
+                maybe_inject("compile", self.spec.name, self.compiler.name,
+                             deadline=self.deadline)
+                compiled = self.compiler.compile(unit)
         except NotImplementedInCompiler as error:
             result.status = Status.DIFFERENCE
             result.difference_kind = "compile_missing"
@@ -262,14 +278,25 @@ class DifferentialTester:
         # the heap; re-assert the input state for the machine run.
         memory.heap.restore(input_heap)
         try:
-            outcome, machine_stack = self._run_machine(
-                compiled, receiver, input_temps
-            )
+            with guard("simulator", expected=(SimulationError,)):
+                maybe_inject("simulate", self.spec.name, self.compiler.name,
+                             deadline=self.deadline)
+                outcome, machine_stack = self._run_machine(
+                    compiled, receiver, input_temps
+                )
         except SimulationError as error:
             result.status = Status.DIFFERENCE
             result.difference_kind = "simulation_error"
             result.detail = str(error)
             return result
+        if outcome.kind == OutcomeKind.BUDGET_EXHAUSTED:
+            # The campaign deadline expired mid-simulation; this is a
+            # budget event, not a behavioural verdict for this cell.
+            raise BudgetExhausted(
+                f"simulation of {self.spec.name} stopped after "
+                f"{outcome.steps} steps: campaign deadline expired",
+                scope="campaign",
+            )
         result.machine_outcome = outcome
         machine_heap_diff = memory.heap.diff(input_heap)
         machine_temps = self._read_machine_temps(len(input_temps))
@@ -325,7 +352,8 @@ class DifferentialTester:
             for index, reg in enumerate(("R1", "R2", "R3", "R4")):
                 if index + 1 < len(values):
                     sim.set(reg, values[index + 1])
-        outcome = sim.run(compiled.entry)
+        outcome = sim.run(compiled.entry, max_steps=self.max_sim_steps,
+                          deadline=self.deadline)
         final_sp = sim.get("SP")
         count = max(0, (operand_base - final_sp) // WORD_SIZE)
         machine_stack = [
@@ -367,7 +395,7 @@ class DifferentialTester:
             differ("machine_fault", outcome.fault_reason or "fault")
             return
         if outcome.kind == OutcomeKind.DIVERGED:
-            differ("machine_fault", "compiled code diverged")
+            differ("machine_fault", f"compiled code {outcome.describe()}")
             return
 
         condition = interp_exit.condition

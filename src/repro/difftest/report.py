@@ -180,3 +180,25 @@ def format_distributions(title: str, distributions: dict) -> str:
     for label in sorted(distributions):
         lines.append("  " + distributions[label].row())
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# quarantine report (robustness extension)
+
+
+def format_quarantine(quarantine) -> str:
+    """The campaign's quarantine section: crashed cells by error class.
+
+    Empty string when nothing was quarantined, so callers can print the
+    result unconditionally.
+    """
+    if not quarantine:
+        return ""
+    lines = [f"Quarantined cells: {len(quarantine)}"]
+    for error_class, entries in sorted(quarantine.by_error_class().items()):
+        lines.append(f"  {error_class} ({len(entries)}):")
+        for entry in entries:
+            lines.append(f"    {entry.describe()}")
+            for tb_line in entry.traceback.splitlines()[-3:]:
+                lines.append(f"      | {tb_line}")
+    return "\n".join(lines)

@@ -9,12 +9,21 @@ The concolic exploration of each instruction is performed once and its
 paths are reused across compilers and back-ends, matching the paper's
 note that "the results of the concolic exploration can be cached and
 reused multiple times".
+
+The driver is fault tolerant: every (instruction, compiler) cell runs
+behind the robustness layer's :func:`~repro.robustness.errors.guard`.
+A crashing cell is retried once with reduced budgets, then quarantined
+— recorded as a ``CRASHED`` comparison while the campaign continues.
+With a journal attached, completed cells are checkpointed to JSONL and
+``resume=True`` replays them, so an interrupted campaign (crash, ^C,
+expired deadline) picks up where it left off with identical aggregate
+counts.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.bytecode.opcodes import testable_bytecodes
 from repro.concolic.explorer import (
@@ -24,7 +33,7 @@ from repro.concolic.explorer import (
     NativeMethodSpec,
 )
 from repro.difftest.curation import curate_paths
-from repro.difftest.harness import ComparisonResult, DifferentialTester
+from repro.difftest.harness import ComparisonResult, DifferentialTester, Status
 from repro.interpreter.primitives import testable_primitives
 from repro.jit.machine.arm32 import Arm32Backend
 from repro.jit.machine.x86 import X86Backend
@@ -32,6 +41,15 @@ from repro.jit.native_templates import NativeMethodCompiler
 from repro.jit.register_allocating import RegisterAllocatingCogit
 from repro.jit.simple_stack import SimpleStackBasedCogit
 from repro.jit.stack_to_register import StackToRegisterCogit
+from repro.robustness.budgets import Deadline
+from repro.robustness.checkpoint import CampaignJournal, cell_key
+from repro.robustness.errors import (
+    BudgetExhausted,
+    CampaignError,
+    classify_crash,
+    guard,
+)
+from repro.robustness.quarantine import Quarantine, QuarantineEntry
 
 BYTECODE_COMPILERS = (
     SimpleStackBasedCogit,
@@ -95,7 +113,7 @@ class CompilerReport:
 
 @dataclass
 class CampaignConfig:
-    """Scope controls for a campaign run."""
+    """Scope and budget controls for a campaign run."""
 
     #: Limit instruction counts (None = all); used by tests/benchmarks.
     max_bytecodes: int | None = None
@@ -106,13 +124,39 @@ class CampaignConfig:
     #: Run extra boundary witnesses per path (extension beyond the
     #: paper; see repro.difftest.boundary).
     boundary_witnesses: bool = False
+    #: Hard fuel limit for each simulated machine execution; exceeding
+    #: it is a DIVERGED outcome, not a hang.
+    max_sim_steps: int = 20_000
+    #: Wall-clock budget for the whole campaign (None = unbounded).
+    deadline_seconds: float | None = None
+    #: Re-raise the first cell crash instead of quarantining (debugging).
+    fail_fast: bool = False
+    #: Budget multiplier applied for the single quarantine retry.
+    retry_scale: float = 0.5
+    #: Re-seed the historical R10/R11 fault-describer defect (paper
+    #: fidelity benchmarks and fault-injection tests only).
+    fault_describer_gaps: tuple = ()
+
+    def reduced(self) -> "CampaignConfig":
+        """The smaller-budget config used for the quarantine retry."""
+        scale = self.retry_scale
+        return replace(
+            self,
+            max_paths_per_instruction=max(
+                1, int(self.max_paths_per_instruction * scale)
+            ),
+            max_iterations=max(1, int(self.max_iterations * scale)),
+            max_sim_steps=max(256, int(self.max_sim_steps * scale)),
+        )
 
 
-def explore_instruction(spec, config: CampaignConfig) -> ExplorationResult:
+def explore_instruction(spec, config: CampaignConfig,
+                        deadline=None) -> ExplorationResult:
     explorer = ConcolicExplorer(
         spec,
         max_iterations=config.max_iterations,
         max_paths=config.max_paths_per_instruction,
+        deadline=deadline,
     )
     return explorer.explore()
 
@@ -122,11 +166,12 @@ def test_instruction(
     compiler_class,
     config: CampaignConfig | None = None,
     exploration: ExplorationResult | None = None,
+    deadline=None,
 ) -> InstructionTestResult:
     """Explore (or reuse an exploration) and differentially test."""
     config = config or CampaignConfig()
     if exploration is None:
-        exploration = explore_instruction(spec, config)
+        exploration = explore_instruction(spec, config, deadline)
     curated = curate_paths(exploration.paths)
     result = InstructionTestResult(
         instruction=spec.name,
@@ -137,8 +182,16 @@ def test_instruction(
     )
     start = time.perf_counter()
     for backend_class in config.backends:
-        tester = DifferentialTester(spec, backend_class(), compiler_class)
+        with guard("harness"):
+            tester = DifferentialTester(
+                spec, backend_class(), compiler_class,
+                max_sim_steps=config.max_sim_steps,
+                deadline=deadline,
+                fault_describer_gaps=config.fault_describer_gaps,
+            )
         for path in curated:
+            if deadline is not None:
+                deadline.check(f"testing {spec.name}")
             result.comparisons.append(tester.run_path(path))
             if config.boundary_witnesses:
                 from repro.difftest.boundary import boundary_models
@@ -163,45 +216,279 @@ def native_specs(config: CampaignConfig) -> list:
     return [NativeMethodSpec(native) for native in natives]
 
 
-def run_campaign(config: CampaignConfig | None = None) -> list[CompilerReport]:
+# ======================================================================
+# the fault-tolerant campaign engine
+
+
+class CampaignResult(list):
+    """The campaign reports plus the resilience layer's bookkeeping.
+
+    A list subclass so every existing consumer of
+    ``list[CompilerReport]`` (tables, figures, benchmarks) keeps
+    working; the extra attributes carry the quarantine, resume and
+    budget state of the run.
+    """
+
+    def __init__(self, reports=()):
+        super().__init__(reports)
+        self.quarantine = Quarantine()
+        self.budget_exhausted = False
+        self.resumed_cells = 0
+        self.journal_path = None
+
+
+@dataclass
+class JournaledExploration:
+    """Exploration counters rebuilt from a journal record."""
+
+    instruction: str
+    kind: str
+    path_count: int
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class ResumedCellResult:
+    """An :class:`InstructionTestResult` stand-in replayed from the
+    journal: same counters and comparison verdicts, no live paths."""
+
+    instruction: str
+    kind: str
+    compiler: str
+    exploration: JournaledExploration
+    curated_path_count: int
+    comparisons: list
+    test_seconds: float
+    differing_path_count: int
+
+    @property
+    def differing_paths(self) -> int:
+        return self.differing_path_count
+
+    def differences(self) -> list:
+        return [c for c in self.comparisons if c.is_difference]
+
+
+class _CampaignContext:
+    """Shared mutable state of one campaign run."""
+
+    def __init__(self, config: CampaignConfig, journal_path=None,
+                 resume: bool = False):
+        self.config = config
+        self.deadline = Deadline(config.deadline_seconds)
+        self.quarantine = Quarantine()
+        self.journal = CampaignJournal(journal_path) if journal_path else None
+        if self.journal is not None and not resume:
+            # A fresh (non-resuming) run must not append to stale state.
+            self.journal.path.unlink(missing_ok=True)
+        self.completed = (
+            self.journal.load() if (self.journal is not None and resume) else {}
+        )
+        self.resumed_cells = 0
+        self.budget_exhausted = False
+
+
+def _backend_scope(config: CampaignConfig) -> str:
+    return "+".join(
+        getattr(backend, "name", str(backend)) for backend in config.backends
+    )
+
+
+def _execute_cell(ctx: _CampaignContext, spec, compiler_class, explorations):
+    """Run one cell with crash isolation: (result, None) on success,
+    (None, CampaignError) after the reduced-budget retry also failed."""
+    config = ctx.config
+    error = None
+    for attempt, cfg in enumerate((config, config.reduced())):
+        ctx.deadline.check(f"cell {spec.name}/{compiler_class.name}")
+        try:
+            exploration = explorations.get(spec.name)
+            if exploration is None:
+                with guard("explorer"):
+                    exploration = explore_instruction(spec, cfg, ctx.deadline)
+                if attempt == 0:
+                    # Only full-budget explorations enter the shared
+                    # cache; retries keep their reduced paths private.
+                    explorations[spec.name] = exploration
+            return test_instruction(
+                spec, compiler_class, cfg, exploration, ctx.deadline
+            ), None
+        except BudgetExhausted as exc:
+            if exc.scope == "campaign":
+                raise
+            error = exc
+        except CampaignError as exc:
+            error = exc
+        except Exception as exc:  # pragma: no cover - guards net these
+            error = classify_crash(exc, "harness")
+        if config.fail_fast:
+            raise error
+    return None, error
+
+
+def _crashed_result(spec, compiler_class, config,
+                    error: CampaignError) -> InstructionTestResult:
+    """The visible record of a quarantined cell: one CRASHED comparison."""
+    result = InstructionTestResult(
+        instruction=spec.name,
+        kind=spec.kind,
+        compiler=compiler_class.name,
+        exploration=ExplorationResult(spec.name, spec.kind),
+    )
+    result.comparisons.append(
+        ComparisonResult(
+            instruction=spec.name,
+            kind=spec.kind,
+            compiler=compiler_class.name,
+            backend=_backend_scope(config),
+            status=Status.CRASHED,
+            difference_kind=error.error_class,
+            detail=str(error),
+        )
+    )
+    return result
+
+
+def _serialize_cell(key: str, result, quarantine_entry=None) -> dict:
+    return {
+        "key": key,
+        "instruction": result.instruction,
+        "kind": result.kind,
+        "compiler": result.compiler,
+        "interpreter_paths": result.exploration.path_count,
+        "curated_paths": result.curated_path_count,
+        "differing_paths": result.differing_paths,
+        "test_seconds": result.test_seconds,
+        "comparisons": [
+            {
+                "backend": comparison.backend,
+                "status": comparison.status.value,
+                "difference_kind": comparison.difference_kind,
+                "detail": comparison.detail,
+            }
+            for comparison in result.comparisons
+        ],
+        "quarantined": (
+            quarantine_entry.to_dict() if quarantine_entry is not None else None
+        ),
+    }
+
+
+def _rebuild_cell(record: dict) -> ResumedCellResult:
+    comparisons = [
+        ComparisonResult(
+            instruction=record["instruction"],
+            kind=record["kind"],
+            compiler=record["compiler"],
+            backend=entry["backend"],
+            status=Status(entry["status"]),
+            difference_kind=entry.get("difference_kind"),
+            detail=entry.get("detail", ""),
+        )
+        for entry in record["comparisons"]
+    ]
+    return ResumedCellResult(
+        instruction=record["instruction"],
+        kind=record["kind"],
+        compiler=record["compiler"],
+        exploration=JournaledExploration(
+            instruction=record["instruction"],
+            kind=record["kind"],
+            path_count=record["interpreter_paths"],
+        ),
+        curated_path_count=record["curated_paths"],
+        comparisons=comparisons,
+        test_seconds=record.get("test_seconds", 0.0),
+        differing_path_count=record["differing_paths"],
+    )
+
+
+def _run_experiment(ctx: _CampaignContext, experiment: str, label: str,
+                    specs, compiler_class, explorations) -> CompilerReport:
+    """One report row, cell by cell, with checkpointing and quarantine."""
+    report = CompilerReport(compiler=label)
+    for spec in specs:
+        if ctx.budget_exhausted:
+            break
+        key = cell_key(experiment, compiler_class.name, spec.kind, spec.name)
+        record = ctx.completed.get(key)
+        if record is not None:
+            _accumulate(report, _rebuild_cell(record))
+            ctx.resumed_cells += 1
+            if record.get("quarantined"):
+                ctx.quarantine.add(
+                    QuarantineEntry.from_dict(record["quarantined"])
+                )
+            continue
+        try:
+            result, error = _execute_cell(ctx, spec, compiler_class,
+                                          explorations)
+        except BudgetExhausted as exc:
+            if exc.scope == "campaign":
+                # Campaign deadline expired: stop cleanly; the journal
+                # allows this run to be resumed.
+                ctx.budget_exhausted = True
+                break
+            raise
+        entry = None
+        if error is not None:
+            entry = QuarantineEntry.from_error(
+                error,
+                instruction=spec.name,
+                kind=spec.kind,
+                compiler=compiler_class.name,
+                backend=_backend_scope(ctx.config),
+            )
+            ctx.quarantine.add(entry)
+            result = _crashed_result(spec, compiler_class, ctx.config, error)
+        _accumulate(report, result)
+        if ctx.journal is not None:
+            ctx.journal.append(_serialize_cell(key, result, entry))
+    return report
+
+
+def _finish(result: CampaignResult, ctx: _CampaignContext,
+            journal_path) -> CampaignResult:
+    result.quarantine = ctx.quarantine
+    result.budget_exhausted = ctx.budget_exhausted
+    result.resumed_cells = ctx.resumed_cells
+    result.journal_path = journal_path
+    return result
+
+
+def run_campaign(config: CampaignConfig | None = None, *,
+                 journal_path=None, resume: bool = False) -> CampaignResult:
     """The full four-experiment evaluation (paper Table 2).
 
     Returns one report per compiler: native methods first, then the
-    three byte-code compilers, mirroring the paper's table rows.
+    three byte-code compilers, mirroring the paper's table rows.  With
+    ``journal_path`` set, completed cells are checkpointed to JSONL;
+    ``resume=True`` replays them instead of re-running.
     """
     config = config or CampaignConfig()
-    reports: list[CompilerReport] = []
+    ctx = _CampaignContext(config, journal_path, resume)
+    result = CampaignResult()
 
     natives = native_specs(config)
-    native_explorations = {
-        spec.name: explore_instruction(spec, config) for spec in natives
-    }
-    report = CompilerReport(compiler="Native Methods (primitives)")
-    for spec in natives:
-        result = test_instruction(
-            spec, NativeMethodCompiler, config, native_explorations[spec.name]
-        )
-        _accumulate(report, result)
-    reports.append(report)
+    native_explorations: dict = {}
+    result.append(
+        _run_experiment(ctx, "main", "Native Methods (primitives)", natives,
+                        NativeMethodCompiler, native_explorations)
+    )
 
     bytecodes = bytecode_specs(config)
-    bytecode_explorations = {
-        spec.name: explore_instruction(spec, config) for spec in bytecodes
-    }
+    bytecode_explorations: dict = {}
     for compiler_class in BYTECODE_COMPILERS:
-        report = CompilerReport(compiler=compiler_class.name)
-        for spec in bytecodes:
-            result = test_instruction(
-                spec, compiler_class, config, bytecode_explorations[spec.name]
-            )
-            _accumulate(report, result)
-        reports.append(report)
-    return reports
+        report = _run_experiment(ctx, "main", compiler_class.name, bytecodes,
+                                 compiler_class, bytecode_explorations)
+        result.append(report)
+    return _finish(result, ctx, journal_path)
 
 
 def run_sequence_campaign(
-    config: CampaignConfig | None = None,
-) -> list[CompilerReport]:
+    config: CampaignConfig | None = None, *,
+    journal_path=None, resume: bool = False,
+) -> CampaignResult:
     """Extension experiment: the byte-code *sequence* corpus.
 
     Runs the curated interesting sequences plus the generated minimal
@@ -214,20 +501,17 @@ def run_sequence_campaign(
     )
 
     config = config or CampaignConfig()
+    ctx = _CampaignContext(config, journal_path, resume)
     specs = interesting_sequences() + generate_pair_sequences()
-    explorations = {
-        spec.name: explore_instruction(spec, config) for spec in specs
-    }
-    reports = []
+    explorations: dict = {}
+    result = CampaignResult()
     for compiler_class in BYTECODE_COMPILERS:
-        report = CompilerReport(compiler=f"{compiler_class.name} (sequences)")
-        for spec in specs:
-            result = test_instruction(
-                spec, compiler_class, config, explorations[spec.name]
-            )
-            _accumulate(report, result)
-        reports.append(report)
-    return reports
+        report = _run_experiment(
+            ctx, "sequences", f"{compiler_class.name} (sequences)", specs,
+            compiler_class, explorations,
+        )
+        result.append(report)
+    return _finish(result, ctx, journal_path)
 
 
 def _accumulate(report: CompilerReport, result: InstructionTestResult) -> None:

@@ -15,11 +15,16 @@ Trampolines come in two flavours, both living outside the code region:
   services them inline and execution continues, standing in for Cogit's
   run-time helper calls (ceAllocate...).
 
-Fault reporting is deliberately reflective (the paper's *Simulation
-Error* family): the describer resolves register accessors through a
-getter table that is missing entries for R10/R11, so a fault raised
-while addressing through those registers crashes the simulation itself
-— a defect only dynamic testing finds.
+Fault reporting is reflective (the paper's *Simulation Error* family):
+the describer resolves register accessors through a getter table.
+Historically that table was missing entries for R10/R11, so a fault
+raised while addressing through those registers crashed the simulation
+itself — a defect only dynamic testing finds, and exactly the kind the
+paper reports.  The table is now derived from ``GENERAL_REGISTERS`` so
+every register is describable; the defect remains *injectable* through
+the ``fault_describer_gaps`` constructor argument, which the
+paper-fidelity benchmarks and the fault-injection tests use to re-seed
+it deliberately.
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ class OutcomeKind(enum.Enum):
     TRAMPOLINE = "trampoline"  # called an exit trampoline (send, ...)
     FAULT = "fault"  # invalid memory access / illegal instruction
     DIVERGED = "diverged"  # step budget exhausted
+    BUDGET_EXHAUSTED = "budget_exhausted"  # wall-clock deadline expired
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,10 @@ class MachineOutcome:
             return f"fault {self.fault_reason}"
         if self.kind == OutcomeKind.STOPPED:
             return f"stop #{self.marker}"
+        if self.kind == OutcomeKind.DIVERGED:
+            return f"diverged after {self.steps} steps"
+        if self.kind == OutcomeKind.BUDGET_EXHAUSTED:
+            return f"budget exhausted after {self.steps} steps"
         return self.kind.value
 
 
@@ -122,7 +132,8 @@ class TrampolineTable:
 class MachineSimulator:
     """A 32-bit register machine sharing the VM heap."""
 
-    def __init__(self, heap, code_cache: CodeCache, trampolines: TrampolineTable):
+    def __init__(self, heap, code_cache: CodeCache, trampolines: TrampolineTable,
+                 fault_describer_gaps: tuple = ()):
         self.heap = heap
         self.code_cache = code_cache
         self.trampolines = trampolines
@@ -131,6 +142,16 @@ class MachineSimulator:
         self._stack_words = [0] * STACK_WORDS
         self.flags = {"eq": False, "lt": False, "gt": False}
         self.pc = 0
+        # The reflective getter table, derived from the register file so
+        # no register is accidentally undescribable.  ``fault_describer_
+        # gaps`` re-seeds the historical R10/R11 defect on demand (the
+        # paper's Simulation Error family) for fidelity benchmarks and
+        # fault-injection tests.
+        self._fault_getters = {
+            name: name
+            for name in GENERAL_REGISTERS
+            if name not in fault_describer_gaps
+        }
 
     # ------------------------------------------------------------------
     # register access
@@ -149,16 +170,10 @@ class MachineSimulator:
     def fset(self, name: str, value: float) -> None:
         self.fregisters[name] = float(value)
 
-    # Reflective accessors used by the fault describer.  Getters for
-    # R10/R11 are missing — the Simulation Error defect (DESIGN.md §6).
-    _FAULT_DESCRIBER_GETTERS = {
-        name: name for name in GENERAL_REGISTERS if name not in ("R10", "R11")
-    }
-
     def _describe_fault(self, instruction, address) -> str:
         base = instruction.b if instruction.b is not None else instruction.a
         if base is not None:
-            getter = self._FAULT_DESCRIBER_GETTERS.get(base)
+            getter = self._fault_getters.get(base)
             if getter is None:
                 raise SimulationError(
                     f"fault describer has no reflective getter for {base}"
@@ -210,12 +225,22 @@ class MachineSimulator:
         self.flags = {"eq": False, "lt": False, "gt": False}
         self.set("SP", STACK_TOP)
 
-    def run(self, entry: int, max_steps: int = 20_000) -> MachineOutcome:
-        """Execute from *entry* until a halt condition."""
+    def run(self, entry: int, max_steps: int = 20_000,
+            deadline=None) -> MachineOutcome:
+        """Execute from *entry* until a halt condition.
+
+        ``max_steps`` is the hard fuel limit — pathological compiled
+        code halts with a :data:`OutcomeKind.DIVERGED` outcome rather
+        than looping forever.  ``deadline`` (a
+        :class:`repro.robustness.budgets.Deadline`) additionally bounds
+        wall-clock time, yielding :data:`OutcomeKind.BUDGET_EXHAUSTED`.
+        """
         self.pc = entry
         steps = 0
         while steps < max_steps:
             steps += 1
+            if deadline is not None and steps % 128 == 0 and deadline.expired:
+                return self._halt(OutcomeKind.BUDGET_EXHAUSTED, steps)
             try:
                 instruction, size = self.code_cache.instruction_at(self.pc)
             except MachineError as error:

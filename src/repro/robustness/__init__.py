@@ -1,0 +1,57 @@
+"""The resilience layer: budgets, crash isolation, quarantine, resume.
+
+The paper's pipeline is only a practical tool because one misbehaving
+(instruction, compiler, backend) cell never takes down the whole
+campaign — each cell is an independent experiment.  This package gives
+the campaign engine that property:
+
+* :mod:`repro.robustness.budgets` — wall-clock deadlines and fuel
+  limits, so divergence is a first-class outcome instead of a hang;
+* :mod:`repro.robustness.errors` — the :class:`CampaignError` taxonomy
+  classifying explorer / compiler / simulator / solver / harness
+  failures, plus the :func:`guard` wrapper that converts unexpected
+  exceptions into classified crashes;
+* :mod:`repro.robustness.quarantine` — crashed cells, after one retry
+  with reduced budgets, land in a quarantine report section;
+* :mod:`repro.robustness.checkpoint` — a JSONL journal of completed
+  cells so an interrupted campaign resumes where it left off;
+* :mod:`repro.robustness.faults` — test-only fault injection proving
+  the engine degrades gracefully.
+"""
+
+from repro.robustness.budgets import Deadline
+from repro.robustness.checkpoint import CampaignJournal
+from repro.robustness.errors import (
+    BudgetExhausted,
+    CampaignError,
+    CompilerCrash,
+    ExplorerCrash,
+    HarnessCrash,
+    SimulatorCrash,
+    SolverCrash,
+    classify_crash,
+    guard,
+    truncated_traceback,
+)
+from repro.robustness.faults import FaultPlan, inject_faults, maybe_inject
+from repro.robustness.quarantine import Quarantine, QuarantineEntry
+
+__all__ = [
+    "BudgetExhausted",
+    "CampaignError",
+    "CampaignJournal",
+    "CompilerCrash",
+    "Deadline",
+    "ExplorerCrash",
+    "FaultPlan",
+    "HarnessCrash",
+    "Quarantine",
+    "QuarantineEntry",
+    "SimulatorCrash",
+    "SolverCrash",
+    "classify_crash",
+    "guard",
+    "inject_faults",
+    "maybe_inject",
+    "truncated_traceback",
+]

@@ -1,0 +1,45 @@
+"""Wall-clock deadlines for the campaign engine.
+
+A :class:`Deadline` is the live object threaded from the campaign
+driver down into the explorer loop and the machine simulator.  Fuel
+budgets (iteration counts, simulator steps, solver nodes) stay plain
+integers on :class:`~repro.difftest.runner.CampaignConfig`; the
+deadline is the only budget that needs shared mutable state — all
+stages race against the same clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.robustness.errors import BudgetExhausted
+
+
+class Deadline:
+    """A monotonic wall-clock budget; ``None`` seconds never expires."""
+
+    def __init__(self, seconds: float | None = None) -> None:
+        self.seconds = seconds
+        self._expires = None if seconds is None else time.monotonic() + seconds
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(None)
+
+    def remaining(self) -> float | None:
+        """Seconds left, clamped at 0.0; None when unbounded."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return self._expires is not None and time.monotonic() >= self._expires
+
+    def check(self, what: str = "campaign", scope: str = "campaign") -> None:
+        """Raise :class:`BudgetExhausted` if the deadline has passed."""
+        if self.expired:
+            raise BudgetExhausted(
+                f"deadline of {self.seconds:g}s expired during {what}",
+                scope=scope,
+            )

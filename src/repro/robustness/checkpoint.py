@@ -1,0 +1,69 @@
+"""Checkpoint/resume: the append-only JSONL campaign journal.
+
+The runner appends one JSON record per *completed* cell — counters plus
+per-comparison verdicts, enough to rebuild the aggregate report rows
+exactly.  On ``--resume`` the journal is replayed and completed cells
+are skipped, so an interrupted campaign (crash, ^C, expired deadline)
+picks up where it left off and still produces identical aggregate
+counts.
+
+Records are written with an explicit flush per cell, so at most the
+cell in flight is lost on a hard kill.  A torn trailing line (partial
+write) is tolerated and ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Bumped when the record shape changes; mismatched journals are ignored
+#: rather than mis-replayed.
+JOURNAL_VERSION = 1
+
+
+def cell_key(experiment: str, compiler: str, kind: str, instruction: str) -> str:
+    """Stable identity of one campaign cell across runs."""
+    return f"{experiment}::{compiler}::{kind}::{instruction}"
+
+
+class CampaignJournal:
+    """One JSONL file journaling completed campaign cells."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+
+    def load(self) -> dict:
+        """key -> record for every well-formed journaled cell."""
+        if not self.path.exists():
+            return {}
+        completed: dict = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn write from an interrupted run: the cell was
+                    # not completed, drop it and every later line.
+                    break
+                if record.get("version") != JOURNAL_VERSION:
+                    continue
+                key = record.get("key")
+                if key:
+                    completed[key] = record
+        return completed
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed-cell record."""
+        record = dict(record, version=JOURNAL_VERSION)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

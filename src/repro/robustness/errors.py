@@ -1,0 +1,139 @@
+"""The campaign error taxonomy and the crash-isolation guard.
+
+A campaign cell runs a five-stage pipeline (explore -> solve ->
+compile -> simulate -> compare).  Any stage may crash in ways the
+expected-failure machinery of the harness does not model — a bug in the
+explorer, a compiler front-end throwing something other than
+:class:`~repro.errors.CompilerError`, the simulator's own environment
+failing.  :func:`guard` converts those unexpected exceptions into one
+classified :class:`CampaignError` subclass per stage, preserving the
+original exception and a truncated traceback for the quarantine report,
+while letting the *expected* control-flow exceptions of each stage pass
+through untouched.
+"""
+
+from __future__ import annotations
+
+import traceback
+from contextlib import contextmanager
+
+from repro.errors import ReproError
+
+#: Default number of traceback lines kept in quarantine records.
+TRACEBACK_LINES = 12
+
+
+class CampaignError(ReproError):
+    """A classified, stage-attributed failure of one campaign cell."""
+
+    stage = "harness"
+
+    def __init__(self, message: str, original: BaseException | None = None):
+        super().__init__(message)
+        self.original = original
+        self.traceback = (
+            truncated_traceback(original) if original is not None else ""
+        )
+
+    @property
+    def error_class(self) -> str:
+        return type(self).__name__
+
+
+class ExplorerCrash(CampaignError):
+    """The concolic explorer failed outside its expected exits."""
+
+    stage = "explorer"
+
+
+class CompilerCrash(CampaignError):
+    """A JIT front-end raised something other than a CompilerError."""
+
+    stage = "compiler"
+
+
+class SimulatorCrash(CampaignError):
+    """The CPU simulator's own environment failed (not the code under
+    test faulting — that is a FAULT outcome, a first-class verdict)."""
+
+    stage = "simulator"
+
+
+class SolverCrash(CampaignError):
+    """The constraint solver raised instead of answering sat/unsat/unknown."""
+
+    stage = "solver"
+
+
+class HarnessCrash(CampaignError):
+    """The differential harness itself failed (materialization, world
+    construction, comparison)."""
+
+    stage = "harness"
+
+
+class BudgetExhausted(CampaignError):
+    """A wall-clock or fuel budget ran out.
+
+    ``scope`` distinguishes a cell-local exhaustion (the cell is
+    retried/quarantined and the campaign continues) from the campaign
+    deadline expiring (the run stops; the journal allows resuming).
+    """
+
+    stage = "budget"
+
+    def __init__(self, message: str, scope: str = "cell",
+                 original: BaseException | None = None):
+        super().__init__(message, original)
+        self.scope = scope
+
+
+_STAGE_CRASHES = {
+    "explorer": ExplorerCrash,
+    "compiler": CompilerCrash,
+    "simulator": SimulatorCrash,
+    "solver": SolverCrash,
+    "harness": HarnessCrash,
+}
+
+
+def classify_crash(error: BaseException, stage: str) -> CampaignError:
+    """Wrap *error* into the CampaignError subclass for *stage*.
+
+    Already-classified errors are returned unchanged — a SolverCrash
+    surfacing through the explorer stays a SolverCrash.
+    """
+    if isinstance(error, CampaignError):
+        return error
+    crash_class = _STAGE_CRASHES.get(stage, HarnessCrash)
+    return crash_class(f"{type(error).__name__}: {error}", original=error)
+
+
+def truncated_traceback(error: BaseException,
+                        limit: int = TRACEBACK_LINES) -> str:
+    """The last *limit* lines of *error*'s formatted traceback."""
+    lines = traceback.format_exception(type(error), error, error.__traceback__)
+    flat = "".join(lines).rstrip().splitlines()
+    if len(flat) > limit:
+        flat = [f"... ({len(flat) - limit} lines elided)"] + flat[-limit:]
+    return "\n".join(flat)
+
+
+@contextmanager
+def guard(stage: str, expected: tuple = ()):
+    """Classify unexpected exceptions escaping a pipeline stage.
+
+    Exceptions listed in *expected* are the stage's modelled control
+    flow (e.g. ``CompilerError`` for curation) and propagate untouched,
+    as do already-classified :class:`CampaignError` instances and
+    ``BaseException``s such as ``KeyboardInterrupt``.  Everything else
+    becomes the stage's :class:`CampaignError` subclass.
+    """
+    try:
+        yield
+    except CampaignError:
+        raise
+    except expected:
+        raise
+    except Exception as error:
+        raise classify_crash(error, stage) from error

@@ -1,0 +1,102 @@
+"""Test-only fault injection at campaign pipeline stages.
+
+The resilience engine is itself validated mutation-style: a
+:class:`FaultPlan` arms a failure at a chosen stage (``explore``,
+``solve``, ``compile``, ``simulate``, ``harness``) for matching cells,
+and the tests assert the campaign degrades gracefully — the cell is
+quarantined, every other cell is unaffected, and interrupted runs
+resume.  Production code paths call :func:`maybe_inject`, which is a
+no-op (one empty-list check) unless a test armed a plan via
+:func:`inject_faults`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import InvalidMemoryAccess
+from repro.robustness.errors import BudgetExhausted
+
+#: Fault kinds: raise a generic exception, raise a raw memory fault,
+#: busy-wait until the deadline trips (a simulated hang), or raise
+#: KeyboardInterrupt (a simulated ^C for checkpoint/resume tests).
+FAULT_KINDS = ("raise", "memory", "hang", "interrupt")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Arm one failure at a pipeline stage for matching cells."""
+
+    stage: str
+    kind: str = "raise"
+    #: Match filters; None matches anything.
+    instruction: str | None = None
+    compiler: str | None = None
+    message: str = "injected fault"
+    #: Fire only this many times (None = every match).
+    times: int | None = None
+
+    def matches(self, stage, instruction, compiler) -> bool:
+        if self.stage != stage:
+            return False
+        if self.instruction is not None and self.instruction != instruction:
+            return False
+        if self.compiler is not None and self.compiler != compiler:
+            return False
+        return True
+
+
+_ACTIVE: list = []  # [FaultPlan, remaining_fires|None] pairs
+
+
+@contextmanager
+def inject_faults(*plans: FaultPlan):
+    """Arm *plans* for the duration of the with-block (tests only)."""
+    armed = [[plan, plan.times] for plan in plans]
+    _ACTIVE.extend(armed)
+    try:
+        yield
+    finally:
+        for entry in armed:
+            _ACTIVE.remove(entry)
+
+
+def maybe_inject(stage: str, instruction: str | None = None,
+                 compiler: str | None = None, deadline=None) -> None:
+    """Fire any armed fault matching this pipeline point."""
+    if not _ACTIVE:
+        return
+    for entry in _ACTIVE:
+        plan, remaining = entry
+        if remaining is not None and remaining <= 0:
+            continue
+        if not plan.matches(stage, instruction, compiler):
+            continue
+        if remaining is not None:
+            entry[1] = remaining - 1
+        _fire(plan, deadline)
+
+
+def _fire(plan: FaultPlan, deadline) -> None:
+    if plan.kind == "raise":
+        raise RuntimeError(f"injected at {plan.stage}: {plan.message}")
+    if plan.kind == "memory":
+        raise InvalidMemoryAccess(0x0DEAD000, f"injected: {plan.message}")
+    if plan.kind == "interrupt":
+        raise KeyboardInterrupt(f"injected at {plan.stage}: {plan.message}")
+    if plan.kind == "hang":
+        # A hang only terminates because a budget bounds it: burn the
+        # clock until the deadline trips, then report exhaustion.  With
+        # no deadline armed the hang would never return, which is
+        # exactly what the budget layer exists to prevent — fail fast.
+        if deadline is None or deadline.remaining() is None:
+            raise BudgetExhausted(
+                f"injected hang at {plan.stage} with no deadline to bound it"
+            )
+        while not deadline.expired:
+            time.sleep(min(0.005, max(deadline.remaining(), 0.0001)))
+        deadline.check(f"injected hang at {plan.stage}", scope="cell")
+        raise BudgetExhausted(f"injected hang at {plan.stage}")
+    raise ValueError(f"unknown fault kind {plan.kind!r}")

@@ -1,0 +1,95 @@
+"""Quarantine: the campaign's record of cells that kept crashing.
+
+A cell that crashes is retried once with reduced budgets; a second
+crash lands it here.  The quarantine is part of the campaign result and
+renders as its own report section listing instruction, compiler,
+backend scope, pipeline stage, error class, and a truncated traceback —
+enough to reproduce and triage without rerunning the campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.robustness.errors import CampaignError
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined (instruction, compiler) cell."""
+
+    instruction: str
+    kind: str
+    compiler: str
+    backend: str
+    stage: str
+    error_class: str
+    message: str
+    traceback: str = ""
+    attempts: int = 2
+
+    @classmethod
+    def from_error(cls, error: CampaignError, *, instruction: str, kind: str,
+                   compiler: str, backend: str = "*",
+                   attempts: int = 2) -> "QuarantineEntry":
+        return cls(
+            instruction=instruction,
+            kind=kind,
+            compiler=compiler,
+            backend=backend,
+            stage=error.stage,
+            error_class=error.error_class,
+            message=str(error),
+            traceback=error.traceback,
+            attempts=attempts,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.instruction} [{self.compiler}/{self.backend}] "
+            f"stage={self.stage} error={self.error_class} "
+            f"attempts={self.attempts}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "instruction": self.instruction,
+            "kind": self.kind,
+            "compiler": self.compiler,
+            "backend": self.backend,
+            "stage": self.stage,
+            "error_class": self.error_class,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineEntry":
+        return cls(**data)
+
+
+@dataclass
+class Quarantine:
+    """The collection of quarantined cells of one campaign run."""
+
+    entries: list = field(default_factory=list)
+
+    def add(self, entry: QuarantineEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def by_error_class(self) -> dict:
+        """error class name -> list of entries, for the report section."""
+        groups: dict = {}
+        for entry in self.entries:
+            groups.setdefault(entry.error_class, []).append(entry)
+        return groups

@@ -114,11 +114,23 @@ class TestSeededDefectsAreFound:
         assert diffs
         assert all(d.difference_kind == "compile_missing" for d in diffs)
 
-    def test_simulation_error_on_truncated(self):
+    def test_simulation_error_with_seeded_describer_gap(self):
+        """With the historical R10/R11 describer defect re-seeded, the
+        truncation template's wild access surfaces as simulation_error."""
+        config = CampaignConfig(backends=(X86Backend,),
+                                fault_describer_gaps=("R10", "R11"))
+        result = run("primitiveFloatTruncated", NativeMethodCompiler,
+                     kind="native", config=config)
+        kinds = {d.difference_kind for d in result.differences()}
+        assert "simulation_error" in kinds
+
+    def test_machine_fault_on_truncated_with_fixed_describer(self):
+        """With the default (fixed) describer table the same defect is
+        reported as an ordinary described machine fault."""
         result = run("primitiveFloatTruncated", NativeMethodCompiler,
                      kind="native")
         kinds = {d.difference_kind for d in result.differences()}
-        assert "simulation_error" in kinds
+        assert "machine_fault" in kinds
 
 
 class TestExpectedFailures:

@@ -480,10 +480,25 @@ class TestNativeTemplates:
         with pytest.raises(NotImplementedInCompiler):
             compiler.compile(unit)
 
-    def test_truncated_fault_raises_simulation_error(self, world):
-        """Faults through R10 break the reflective fault describer."""
-        from repro.errors import SimulationError
+    def test_truncated_fault_is_described(self, world):
+        """The truncation template's wild access through R10 is an
+        ordinary described fault now that the getter table is derived."""
+        outcome = world.run_native(
+            "primitiveFloatTruncated", int_oop(world, 3), []
+        )
+        assert outcome.kind == OutcomeKind.FAULT
+        assert "base R10" in outcome.fault_reason
 
+    def test_truncated_fault_with_seeded_gap_raises(self, world):
+        """Re-seeding the historical R10/R11 describer gap restores the
+        paper's Simulation Error behaviour."""
+        from repro.errors import SimulationError
+        from repro.jit.machine import MachineSimulator
+
+        world.simulator = MachineSimulator(
+            world.memory.heap, world.code_cache, world.trampolines,
+            fault_describer_gaps=("R10", "R11"),
+        )
         with pytest.raises(SimulationError):
             world.run_native("primitiveFloatTruncated", int_oop(world, 3), [])
 

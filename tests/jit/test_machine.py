@@ -190,8 +190,21 @@ class TestMemoryAndStack:
         assert outcome.kind == OutcomeKind.FAULT
         assert "base R1" in outcome.fault_reason
 
-    def test_fault_through_r10_is_simulation_error(self, backend):
-        """The reflective fault describer is missing R10/R11 getters."""
+    def test_fault_through_r10_is_described(self, backend):
+        """The getter table is derived from the register file, so a
+        fault addressed through R10/R11 is *described*, not a crash."""
+        instructions = [
+            mi("MOV_RI", "R10", imm=0x0DEAD000),
+            mi("LOAD", "R0", "R10", imm=0),
+            mi("RET"),
+        ]
+        outcome, _ = run_code(instructions, backend)
+        assert outcome.kind == OutcomeKind.FAULT
+        assert "base R10" in outcome.fault_reason
+
+    def test_injected_describer_gap_is_simulation_error(self, backend):
+        """The historical R10/R11 defect stays injectable for the
+        fault-injection tests and paper-fidelity benchmarks."""
         instructions = [
             mi("MOV_RI", "R10", imm=0x0DEAD000),
             mi("LOAD", "R0", "R10", imm=0),
@@ -200,7 +213,8 @@ class TestMemoryAndStack:
         heap = Heap(size_words=16)
         cache = CodeCache()
         code = cache.install(instructions, backend)
-        sim = MachineSimulator(heap, cache, TrampolineTable())
+        sim = MachineSimulator(heap, cache, TrampolineTable(),
+                               fault_describer_gaps=("R10", "R11"))
         sim.reset()
         sim._push(END_SENTINEL)
         with pytest.raises(SimulationError):

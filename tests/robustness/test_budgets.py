@@ -1,0 +1,102 @@
+"""Deadlines and fuel limits across the pipeline layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jit.machine import (
+    CodeCache,
+    MachineSimulator,
+    OutcomeKind,
+    TrampolineTable,
+    X86Backend,
+)
+from repro.jit.machine.isa import label, mi
+from repro.jit.machine.simulator import END_SENTINEL
+from repro.memory.heap import Heap
+from repro.robustness.budgets import Deadline
+from repro.robustness.errors import BudgetExhausted
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.never()
+        assert deadline.remaining() is None
+        assert not deadline.expired
+        deadline.check()  # must not raise
+
+    def test_expired_deadline_raises_with_context(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(BudgetExhausted) as info:
+            deadline.check("testing primitiveAdd")
+        assert "testing primitiveAdd" in str(info.value)
+        assert info.value.scope == "campaign"
+
+    def test_cell_scope_is_threaded(self):
+        with pytest.raises(BudgetExhausted) as info:
+            Deadline(0.0).check("hang", scope="cell")
+        assert info.value.scope == "cell"
+
+    def test_future_deadline_not_expired(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired
+        assert deadline.remaining() > 59.0
+
+
+def _spin_simulator(deadline=None, max_steps=5000):
+    heap = Heap(size_words=64)
+    cache = CodeCache()
+    backend = X86Backend()
+    code = cache.install([label("spin"), mi("JMP", label="spin")], backend)
+    sim = MachineSimulator(heap, cache, TrampolineTable())
+    sim.reset()
+    sim._push(END_SENTINEL)
+    return sim.run(code.base_address, max_steps=max_steps, deadline=deadline)
+
+
+class TestSimulatorBudgets:
+    def test_step_limit_is_diverged(self):
+        """Fuel exhaustion is the paper's divergence verdict."""
+        outcome = _spin_simulator(max_steps=500)
+        assert outcome.kind == OutcomeKind.DIVERGED
+        assert "diverged after" in outcome.describe()
+
+    def test_deadline_is_budget_exhausted_not_diverged(self):
+        """A wall-clock stop is a budget event, not a behavioural
+        verdict about the code under test."""
+        outcome = _spin_simulator(deadline=Deadline(0.0), max_steps=10**9)
+        assert outcome.kind == OutcomeKind.BUDGET_EXHAUSTED
+        assert "budget exhausted after" in outcome.describe()
+
+    def test_unbounded_deadline_does_not_interfere(self):
+        outcome = _spin_simulator(deadline=Deadline.never(), max_steps=500)
+        assert outcome.kind == OutcomeKind.DIVERGED
+
+
+class TestExplorerBudgets:
+    def test_expired_deadline_stops_exploration_cleanly(self):
+        from repro.bytecode.opcodes import bytecode_named
+        from repro.concolic.explorer import (
+            BytecodeInstructionSpec,
+            ConcolicExplorer,
+        )
+
+        spec = BytecodeInstructionSpec(bytecode_named("bytecodePrimAdd"))
+        explorer = ConcolicExplorer(spec, deadline=Deadline(0.0))
+        result = explorer.explore()
+        assert result.budget_exhausted
+        assert result.path_count == 0
+
+    def test_no_deadline_explores_fully(self):
+        from repro.bytecode.opcodes import bytecode_named
+        from repro.concolic.explorer import (
+            BytecodeInstructionSpec,
+            ConcolicExplorer,
+        )
+
+        spec = BytecodeInstructionSpec(bytecode_named("pushTrue"))
+        result = ConcolicExplorer(spec).explore()
+        assert not result.budget_exhausted
+        assert result.path_count > 0

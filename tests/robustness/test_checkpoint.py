@@ -1,0 +1,89 @@
+"""The JSONL campaign journal: round-trip, torn writes, versioning."""
+
+from __future__ import annotations
+
+import json
+
+from repro.robustness.checkpoint import (
+    JOURNAL_VERSION,
+    CampaignJournal,
+    cell_key,
+)
+
+
+def record_for(key, **extra):
+    base = {
+        "key": key,
+        "instruction": key.rsplit("::", 1)[-1],
+        "kind": "bytecode",
+        "compiler": "c",
+        "interpreter_paths": 3,
+        "curated_paths": 3,
+        "differing_paths": 1,
+        "test_seconds": 0.01,
+        "comparisons": [],
+        "quarantined": None,
+    }
+    base.update(extra)
+    return base
+
+
+class TestCellKey:
+    def test_is_stable_and_unique_per_cell(self):
+        key = cell_key("main", "StackToRegisterCogit", "bytecode", "pushTrue")
+        assert key == "main::StackToRegisterCogit::bytecode::pushTrue"
+        assert key != cell_key("sequences", "StackToRegisterCogit",
+                               "bytecode", "pushTrue")
+
+
+class TestJournalRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "campaign.jsonl")
+        first = record_for("main::c::bytecode::a")
+        second = record_for("main::c::bytecode::b", differing_paths=0)
+        journal.append(first)
+        journal.append(second)
+
+        loaded = CampaignJournal(journal.path).load()
+        assert set(loaded) == {first["key"], second["key"]}
+        assert loaded[first["key"]]["differing_paths"] == 1
+        assert loaded[second["key"]]["version"] == JOURNAL_VERSION
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CampaignJournal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_parent_directories_are_created(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "deep" / "nested" / "j.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        assert journal.path.exists()
+
+
+class TestJournalDurability:
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        """A partial write from a hard kill loses only the in-flight
+        cell, never the completed ones before it."""
+        journal = CampaignJournal(tmp_path / "torn.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        with journal.path.open("a") as handle:
+            handle.write('{"key": "main::c::bytecode::b", "trunc')
+
+        loaded = journal.load()
+        assert set(loaded) == {"main::c::bytecode::a"}
+
+    def test_version_mismatch_is_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "versioned.jsonl")
+        stale = dict(record_for("main::c::bytecode::old"), version=0)
+        with journal.path.open("w") as handle:
+            handle.write(json.dumps(stale) + "\n")
+        journal.append(record_for("main::c::bytecode::new"))
+
+        assert set(journal.load()) == {"main::c::bytecode::new"}
+
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "blanks.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        with journal.path.open("a") as handle:
+            handle.write("\n\n")
+        journal.append(record_for("main::c::bytecode::b"))
+
+        assert len(journal.load()) == 2

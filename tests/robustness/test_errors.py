@@ -1,0 +1,113 @@
+"""The campaign error taxonomy and the crash-isolation guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompilerError, ReproError
+from repro.robustness.errors import (
+    BudgetExhausted,
+    CampaignError,
+    CompilerCrash,
+    ExplorerCrash,
+    HarnessCrash,
+    SimulatorCrash,
+    SolverCrash,
+    classify_crash,
+    guard,
+    truncated_traceback,
+)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("stage,crash_class", [
+        ("explorer", ExplorerCrash),
+        ("compiler", CompilerCrash),
+        ("simulator", SimulatorCrash),
+        ("solver", SolverCrash),
+        ("harness", HarnessCrash),
+    ])
+    def test_stage_maps_to_class(self, stage, crash_class):
+        crash = classify_crash(ValueError("boom"), stage)
+        assert isinstance(crash, crash_class)
+        assert crash.stage == stage
+        assert crash.error_class == crash_class.__name__
+        assert "ValueError" in str(crash)
+
+    def test_unknown_stage_falls_back_to_harness(self):
+        assert isinstance(classify_crash(ValueError("x"), "nope"),
+                          HarnessCrash)
+
+    def test_already_classified_errors_keep_their_class(self):
+        """A SolverCrash surfacing through the explorer stays a
+        SolverCrash — the innermost classification wins."""
+        crash = SolverCrash("inner")
+        assert classify_crash(crash, "explorer") is crash
+
+    def test_campaign_errors_are_repro_errors(self):
+        assert issubclass(CampaignError, ReproError)
+        assert issubclass(BudgetExhausted, CampaignError)
+
+    def test_original_exception_is_preserved(self):
+        original = ValueError("boom")
+        crash = classify_crash(original, "compiler")
+        assert crash.original is original
+
+    def test_budget_exhausted_scopes(self):
+        assert BudgetExhausted("x").scope == "cell"
+        assert BudgetExhausted("x", scope="campaign").scope == "campaign"
+
+
+class TestTruncatedTraceback:
+    def _raise_deep(self, depth):
+        if depth:
+            self._raise_deep(depth - 1)
+        raise ValueError("bottom")
+
+    def test_long_tracebacks_keep_the_tail(self):
+        try:
+            self._raise_deep(30)
+        except ValueError as error:
+            text = truncated_traceback(error, limit=5)
+        lines = text.splitlines()
+        assert lines[0].startswith("... (")
+        assert len(lines) == 6  # elision marker + 5 kept lines
+        assert "ValueError: bottom" in lines[-1]
+
+    def test_short_tracebacks_are_untouched(self):
+        try:
+            raise ValueError("shallow")
+        except ValueError as error:
+            text = truncated_traceback(error)
+        assert not text.startswith("...")
+        assert "ValueError: shallow" in text
+
+
+class TestGuard:
+    def test_unexpected_exception_is_classified(self):
+        with pytest.raises(CompilerCrash) as info:
+            with guard("compiler"):
+                raise KeyError("missing template")
+        assert info.value.original.__class__ is KeyError
+        assert "KeyError" in info.value.traceback
+
+    def test_expected_exceptions_pass_through(self):
+        with pytest.raises(CompilerError):
+            with guard("compiler", expected=(CompilerError,)):
+                raise CompilerError("modelled control flow")
+
+    def test_campaign_errors_pass_through_unwrapped(self):
+        with pytest.raises(SolverCrash):
+            with guard("harness"):
+                raise SolverCrash("already classified")
+
+    def test_keyboard_interrupt_passes_through(self):
+        """^C must never be swallowed into a quarantine record."""
+        with pytest.raises(KeyboardInterrupt):
+            with guard("simulator"):
+                raise KeyboardInterrupt()
+
+    def test_no_exception_no_effect(self):
+        with guard("explorer"):
+            value = 1 + 1
+        assert value == 2

@@ -1,0 +1,68 @@
+"""The fault-injection hooks themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidMemoryAccess
+from repro.robustness.budgets import Deadline
+from repro.robustness.errors import BudgetExhausted
+from repro.robustness.faults import FaultPlan, inject_faults, maybe_inject
+
+
+class TestMatching:
+    def test_disarmed_is_a_no_op(self):
+        maybe_inject("compile", "primitiveAdd", "native")  # must not raise
+
+    def test_stage_and_filters_must_match(self):
+        plan = FaultPlan(stage="compile", instruction="primitiveAdd",
+                         compiler="native")
+        with inject_faults(plan):
+            maybe_inject("simulate", "primitiveAdd", "native")
+            maybe_inject("compile", "primitiveSub", "native")
+            maybe_inject("compile", "primitiveAdd", "simple")
+            with pytest.raises(RuntimeError, match="injected at compile"):
+                maybe_inject("compile", "primitiveAdd", "native")
+
+    def test_none_filters_match_anything(self):
+        with inject_faults(FaultPlan(stage="explore")):
+            with pytest.raises(RuntimeError):
+                maybe_inject("explore", "whatever")
+
+    def test_plans_disarm_on_context_exit(self):
+        with inject_faults(FaultPlan(stage="explore")):
+            pass
+        maybe_inject("explore", "whatever")  # must not raise
+
+
+class TestKinds:
+    def test_times_limits_firing(self):
+        with inject_faults(FaultPlan(stage="compile", times=2)):
+            for _ in range(2):
+                with pytest.raises(RuntimeError):
+                    maybe_inject("compile")
+            maybe_inject("compile")  # exhausted, no longer fires
+
+    def test_memory_fault_kind(self):
+        with inject_faults(FaultPlan(stage="simulate", kind="memory")):
+            with pytest.raises(InvalidMemoryAccess):
+                maybe_inject("simulate")
+
+    def test_interrupt_kind(self):
+        with inject_faults(FaultPlan(stage="compile", kind="interrupt")):
+            with pytest.raises(KeyboardInterrupt):
+                maybe_inject("compile")
+
+    def test_hang_burns_the_deadline_then_exhausts(self):
+        deadline = Deadline(0.02)
+        with inject_faults(FaultPlan(stage="simulate", kind="hang")):
+            with pytest.raises(BudgetExhausted) as info:
+                maybe_inject("simulate", deadline=deadline)
+        assert info.value.scope == "cell"
+        assert deadline.expired
+
+    def test_hang_without_deadline_fails_fast(self):
+        with inject_faults(FaultPlan(stage="simulate", kind="hang")):
+            with pytest.raises(BudgetExhausted) as info:
+                maybe_inject("simulate")
+        assert "no deadline" in str(info.value)

@@ -1,0 +1,76 @@
+"""Quarantine records and their report section."""
+
+from __future__ import annotations
+
+from repro.difftest.report import format_quarantine
+from repro.robustness.errors import classify_crash
+from repro.robustness.quarantine import Quarantine, QuarantineEntry
+
+
+def make_entry(instruction="primitiveAdd", compiler="native",
+               stage="compiler"):
+    try:
+        raise ValueError("template exploded")
+    except ValueError as error:
+        crash = classify_crash(error, stage)
+    return QuarantineEntry.from_error(
+        crash, instruction=instruction, kind="native", compiler=compiler,
+        backend="x86+arm32",
+    )
+
+
+class TestQuarantineEntry:
+    def test_from_error_captures_stage_and_class(self):
+        entry = make_entry()
+        assert entry.stage == "compiler"
+        assert entry.error_class == "CompilerCrash"
+        assert "ValueError" in entry.message
+        assert "template exploded" in entry.traceback
+
+    def test_describe_names_the_cell(self):
+        text = make_entry().describe()
+        assert "primitiveAdd" in text
+        assert "native" in text
+        assert "CompilerCrash" in text
+        assert "attempts=2" in text
+
+    def test_dict_round_trip(self):
+        entry = make_entry()
+        assert QuarantineEntry.from_dict(entry.to_dict()) == entry
+
+
+class TestQuarantine:
+    def test_collection_protocol(self):
+        quarantine = Quarantine()
+        assert not quarantine
+        assert len(quarantine) == 0
+        quarantine.add(make_entry())
+        quarantine.add(make_entry(instruction="pushTrue", stage="explorer"))
+        assert quarantine
+        assert len(quarantine) == 2
+        assert len(list(quarantine)) == 2
+
+    def test_groups_by_error_class(self):
+        quarantine = Quarantine()
+        quarantine.add(make_entry())
+        quarantine.add(make_entry(instruction="pushTrue"))
+        quarantine.add(make_entry(instruction="pushNil", stage="solver"))
+        groups = quarantine.by_error_class()
+        assert len(groups["CompilerCrash"]) == 2
+        assert len(groups["SolverCrash"]) == 1
+
+
+class TestQuarantineReport:
+    def test_empty_quarantine_renders_empty(self):
+        assert format_quarantine(Quarantine()) == ""
+
+    def test_section_lists_cells_and_tracebacks(self):
+        quarantine = Quarantine()
+        quarantine.add(make_entry())
+        quarantine.add(make_entry(instruction="pushNil", stage="solver"))
+        text = format_quarantine(quarantine)
+        assert "Quarantined cells: 2" in text
+        assert "CompilerCrash (1):" in text
+        assert "SolverCrash (1):" in text
+        assert "primitiveAdd" in text
+        assert "| " in text  # traceback excerpt lines

@@ -79,6 +79,42 @@ class TestCommands:
         # The register compilers match the interpreter on every sequence.
         assert "StackToRegisterCogit (sequences)" in out
 
+    def test_campaign_journal_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        args = ["campaign", "--max-bytecodes", "2", "--max-natives", "1",
+                "--backend", "x86", "--journal", str(journal)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed" in resumed
+        # Replayed cells reproduce the same Table 2.
+        assert first.splitlines()[:7] == resumed.splitlines()[:7]
+
+    def test_campaign_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--resume requires --journal"):
+            main(["campaign", "--resume", "--backend", "x86"])
+
+    def test_campaign_deadline_exhaustion_exits_2(self, capsys):
+        code = main(["campaign", "--max-bytecodes", "2", "--max-natives", "1",
+                     "--backend", "x86", "--deadline", "0"])
+        assert code == 2
+        assert "deadline expired" in capsys.readouterr().out
+
+    def test_campaign_quarantine_section_printed(self, capsys):
+        from repro.robustness.faults import FaultPlan, inject_faults
+
+        plan = FaultPlan(stage="compile", compiler="SimpleStackBasedCogit")
+        with inject_faults(plan):
+            code = main(["campaign", "--max-bytecodes", "1",
+                         "--max-natives", "1", "--backend", "x86"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Quarantined cells: 1" in out
+        assert "CompilerCrash" in out
+
     def test_disasm(self, capsys):
         assert main(["disasm", "bytecodePrimAdd", "--backend", "arm32"]) == 0
         out = capsys.readouterr().out
