@@ -1,0 +1,76 @@
+"""Measure parallel campaign speedup: `-j 1` vs `-j 2` wall clock.
+
+Runs the same scoped campaign under both engines, verifies the
+aggregate reports are byte-identical (the parallel engine's contract),
+and writes the timings as a plain-text artifact.  CI runs this as the
+parallel-campaign-smoke job and uploads the result:
+
+    PYTHONPATH=src python benchmarks/parallel_speedup.py \
+        --max-bytecodes 4 --max-natives 2 \
+        --output benchmarks/results/parallel_speedup.txt
+
+Interpretation note: speedup is bounded by the machine's core count —
+on a single-core runner expect ~1.0x (process overhead may even push
+it slightly below); the number this artifact guards is "parallel is
+correct and not pathologically slower", not a fixed ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.difftest.report import format_table2, format_table3
+from repro.difftest.runner import CampaignConfig, run_campaign
+
+
+def timed_campaign(config: CampaignConfig, jobs: int):
+    start = time.perf_counter()
+    reports = run_campaign(config, jobs=jobs)
+    return reports, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-bytecodes", type=int, default=4)
+    parser.add_argument("--max-natives", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker count for the parallel leg (default: 2)")
+    parser.add_argument("--output", default=None,
+                        help="write the artifact here (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(max_bytecodes=args.max_bytecodes,
+                            max_natives=args.max_natives)
+    sequential, seq_seconds = timed_campaign(config, jobs=1)
+    parallel, par_seconds = timed_campaign(config, jobs=args.jobs)
+
+    identical = (
+        format_table2(sequential) == format_table2(parallel)
+        and format_table3(sequential) == format_table3(parallel)
+    )
+    speedup = seq_seconds / par_seconds if par_seconds else float("inf")
+
+    lines = [
+        "Parallel campaign speedup "
+        f"(max_bytecodes={args.max_bytecodes}, "
+        f"max_natives={args.max_natives}, cpus={os.cpu_count()})",
+        f"  -j 1: {seq_seconds:7.2f} s",
+        f"  -j {args.jobs}: {par_seconds:7.2f} s"
+        f"  (cache {parallel.cache_hits} hits"
+        f" / {parallel.cache_misses} misses)",
+        f"  speedup: {speedup:.2f}x",
+        f"  reports byte-identical: {'yes' if identical else 'NO'}",
+    ]
+    text = "\n".join(lines) + "\n"
+    print(text, end="")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

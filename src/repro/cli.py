@@ -5,9 +5,10 @@ Subcommands mirror the library's main entry points:
 * ``explore <instruction>`` — concolic path exploration (Fig. 1 step 1);
 * ``test <instruction> [--compiler C] [--backend B]`` — differential
   test of every curated path (steps 2-4);
-* ``campaign [--max-bytecodes N] [--max-natives N] [--deadline S]
+* ``campaign [--max-bytecodes N] [--max-natives N] [-j N] [--deadline S]
   [--journal PATH] [--resume] [--fail-fast]`` — the full Table 2/3
-  evaluation, with wall-clock budgeting and checkpoint/resume;
+  evaluation, with parallel sharding, wall-clock budgeting and
+  checkpoint/resume (operator guide: docs/CAMPAIGN.md);
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
@@ -116,7 +117,8 @@ def cmd_campaign(args) -> int:
     )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
-    run_kwargs = dict(journal_path=args.journal, resume=args.resume)
+    run_kwargs = dict(journal_path=args.journal, resume=args.resume,
+                      jobs=args.jobs)
     if args.sequences:
         from repro.difftest.runner import run_sequence_campaign
 
@@ -131,6 +133,11 @@ def cmd_campaign(args) -> int:
     if quarantine_section:
         print()
         print(quarantine_section)
+    if reports.workers > 1:
+        print(
+            f"\n{reports.workers} workers; exploration cache "
+            f"{reports.cache_hits} hits / {reports.cache_misses} misses"
+        )
     if reports.resumed_cells:
         print(f"\nresumed {reports.resumed_cells} cells from {args.journal}")
     if reports.budget_exhausted:
@@ -244,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--sequences", action="store_true",
         help="run the byte-code sequence corpus instead (extension)",
+    )
+    campaign.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to shard the campaign across "
+             "(default: 1 = in-process; 0 = one per CPU)",
     )
     campaign.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",

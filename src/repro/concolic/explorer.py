@@ -175,6 +175,46 @@ class ExplorationResult:
         return counts
 
 
+class ExplorationCache:
+    """Per-instruction exploration results, shared across cells.
+
+    Concolic exploration is the expensive half of a campaign cell, and
+    its result depends only on the instruction — not on the compiler or
+    backend under test.  The paper notes exactly this: "the results of
+    the concolic exploration can be cached and reused multiple times".
+    One cache instance is shared by every (compiler x backend) cell of
+    an instruction: the sequential runner keeps one per campaign, a
+    parallel worker one per shard (a shard carries all compiler cells
+    of one instruction, so the reuse is identical in both modes).
+
+    Only *full-budget* explorations are cached; reduced-budget retry
+    explorations stay private to their cell so a cache never serves
+    truncated path sets to healthy cells.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, spec) -> tuple:
+        return (spec.kind, spec.name)
+
+    def get(self, spec) -> "ExplorationResult | None":
+        entry = self._entries.get(self._key(spec))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, spec, exploration: "ExplorationResult") -> None:
+        self._entries[self._key(spec)] = exploration
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 # ======================================================================
 # the explorer
 

@@ -111,6 +111,32 @@ class ComparisonResult:
             parts.append(self.detail)
         return " ".join(parts)
 
+    # ------------------------------------------------------------------
+    # journal / worker-message serialization
+
+    def to_record(self) -> dict:
+        """The journaled verdict: everything the aggregate reports
+        need, nothing process-local (no live paths or outcomes)."""
+        return {
+            "backend": self.backend,
+            "status": self.status.value,
+            "difference_kind": self.difference_kind,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict, *, instruction: str, kind: str,
+                    compiler: str) -> "ComparisonResult":
+        return cls(
+            instruction=instruction,
+            kind=kind,
+            compiler=compiler,
+            backend=record["backend"],
+            status=Status(record["status"]),
+            difference_kind=record.get("difference_kind"),
+            detail=record.get("detail", ""),
+        )
+
 
 #: Machine frame record: receiver + 16 temps above the operand stack.
 FRAME_WORDS = 1 + 16

@@ -18,6 +18,13 @@ With a journal attached, completed cells are checkpointed to JSONL and
 ``resume=True`` replays them, so an interrupted campaign (crash, ^C,
 expired deadline) picks up where it left off with identical aggregate
 counts.
+
+Two execution engines share one canonical plan (:func:`campaign_rows`):
+the in-process sequential engine below, and the process-pool engine in
+:mod:`repro.parallel` (``jobs > 1``), which shards the plan by
+instruction across OS worker processes and merges worker records back
+into plan order — aggregate reports are byte-identical across ``-j``
+values.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.bytecode.opcodes import testable_bytecodes
 from repro.concolic.explorer import (
     BytecodeInstructionSpec,
     ConcolicExplorer,
+    ExplorationCache,
     ExplorationResult,
     NativeMethodSpec,
 )
@@ -217,6 +225,59 @@ def native_specs(config: CampaignConfig) -> list:
 
 
 # ======================================================================
+# the canonical campaign plan
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One report row of the campaign: a compiler over a spec list.
+
+    The row sequence returned by :func:`campaign_rows` /
+    :func:`sequence_campaign_rows` is the *canonical plan*: the
+    sequential engine executes it in order, the parallel engine shards
+    it and merges results back into exactly this order, and ``--resume``
+    replays against it.  Determinism across ``-j`` values holds because
+    every mode reports through the same plan.
+    """
+
+    experiment: str  # journal namespace: "main" | "sequences"
+    label: str  # report row label
+    compiler_class: type
+    specs: tuple
+
+
+def campaign_rows(config: CampaignConfig) -> list[ExperimentRow]:
+    """The four main-experiment rows, in the paper's Table 2 order."""
+    rows = [
+        ExperimentRow("main", "Native Methods (primitives)",
+                      NativeMethodCompiler, tuple(native_specs(config)))
+    ]
+    bytecodes = tuple(bytecode_specs(config))
+    for compiler_class in BYTECODE_COMPILERS:
+        rows.append(
+            ExperimentRow("main", compiler_class.name, compiler_class,
+                          bytecodes)
+        )
+    return rows
+
+
+def sequence_campaign_rows(config: CampaignConfig) -> list[ExperimentRow]:
+    """The extension experiment's rows: the sequence corpus per
+    byte-code compiler."""
+    from repro.concolic.sequences import (
+        generate_pair_sequences,
+        interesting_sequences,
+    )
+
+    specs = tuple(interesting_sequences() + generate_pair_sequences())
+    return [
+        ExperimentRow("sequences", f"{compiler_class.name} (sequences)",
+                      compiler_class, specs)
+        for compiler_class in BYTECODE_COMPILERS
+    ]
+
+
+# ======================================================================
 # the fault-tolerant campaign engine
 
 
@@ -235,6 +296,11 @@ class CampaignResult(list):
         self.budget_exhausted = False
         self.resumed_cells = 0
         self.journal_path = None
+        #: Worker processes used (1 = in-process sequential engine).
+        self.workers = 1
+        #: Exploration-cache effectiveness over the whole run.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 @dataclass
@@ -277,6 +343,7 @@ class _CampaignContext:
         self.config = config
         self.deadline = Deadline(config.deadline_seconds)
         self.quarantine = Quarantine()
+        self.explorations = ExplorationCache()
         self.journal = CampaignJournal(journal_path) if journal_path else None
         if self.journal is not None and not resume:
             # A fresh (non-resuming) run must not append to stale state.
@@ -294,24 +361,31 @@ def _backend_scope(config: CampaignConfig) -> str:
     )
 
 
-def _execute_cell(ctx: _CampaignContext, spec, compiler_class, explorations):
+def execute_cell(config: CampaignConfig, deadline, spec, compiler_class,
+                 explorations: ExplorationCache):
     """Run one cell with crash isolation: (result, None) on success,
-    (None, CampaignError) after the reduced-budget retry also failed."""
-    config = ctx.config
+    (None, CampaignError) after the reduced-budget retry also failed.
+
+    This is the cell executor shared by both engines: the sequential
+    runner calls it in the main process, a parallel worker calls it
+    inside its own OS process.  A campaign-scoped
+    :class:`BudgetExhausted` (the shared deadline expiring) always
+    propagates — stopping the run is the caller's decision.
+    """
     error = None
     for attempt, cfg in enumerate((config, config.reduced())):
-        ctx.deadline.check(f"cell {spec.name}/{compiler_class.name}")
+        deadline.check(f"cell {spec.name}/{compiler_class.name}")
         try:
-            exploration = explorations.get(spec.name)
+            exploration = explorations.get(spec)
             if exploration is None:
                 with guard("explorer"):
-                    exploration = explore_instruction(spec, cfg, ctx.deadline)
+                    exploration = explore_instruction(spec, cfg, deadline)
                 if attempt == 0:
                     # Only full-budget explorations enter the shared
                     # cache; retries keep their reduced paths private.
-                    explorations[spec.name] = exploration
+                    explorations.put(spec, exploration)
             return test_instruction(
-                spec, compiler_class, cfg, exploration, ctx.deadline
+                spec, compiler_class, cfg, exploration, deadline
             ), None
         except BudgetExhausted as exc:
             if exc.scope == "campaign":
@@ -360,13 +434,7 @@ def _serialize_cell(key: str, result, quarantine_entry=None) -> dict:
         "differing_paths": result.differing_paths,
         "test_seconds": result.test_seconds,
         "comparisons": [
-            {
-                "backend": comparison.backend,
-                "status": comparison.status.value,
-                "difference_kind": comparison.difference_kind,
-                "detail": comparison.detail,
-            }
-            for comparison in result.comparisons
+            comparison.to_record() for comparison in result.comparisons
         ],
         "quarantined": (
             quarantine_entry.to_dict() if quarantine_entry is not None else None
@@ -376,14 +444,11 @@ def _serialize_cell(key: str, result, quarantine_entry=None) -> dict:
 
 def _rebuild_cell(record: dict) -> ResumedCellResult:
     comparisons = [
-        ComparisonResult(
+        ComparisonResult.from_record(
+            entry,
             instruction=record["instruction"],
             kind=record["kind"],
             compiler=record["compiler"],
-            backend=entry["backend"],
-            status=Status(entry["status"]),
-            difference_kind=entry.get("difference_kind"),
-            detail=entry.get("detail", ""),
         )
         for entry in record["comparisons"]
     ]
@@ -403,14 +468,15 @@ def _rebuild_cell(record: dict) -> ResumedCellResult:
     )
 
 
-def _run_experiment(ctx: _CampaignContext, experiment: str, label: str,
-                    specs, compiler_class, explorations) -> CompilerReport:
+def _run_experiment(ctx: _CampaignContext, row: ExperimentRow) -> CompilerReport:
     """One report row, cell by cell, with checkpointing and quarantine."""
-    report = CompilerReport(compiler=label)
-    for spec in specs:
+    compiler_class = row.compiler_class
+    report = CompilerReport(compiler=row.label)
+    for spec in row.specs:
         if ctx.budget_exhausted:
             break
-        key = cell_key(experiment, compiler_class.name, spec.kind, spec.name)
+        key = cell_key(row.experiment, compiler_class.name, spec.kind,
+                       spec.name)
         record = ctx.completed.get(key)
         if record is not None:
             _accumulate(report, _rebuild_cell(record))
@@ -421,8 +487,8 @@ def _run_experiment(ctx: _CampaignContext, experiment: str, label: str,
                 )
             continue
         try:
-            result, error = _execute_cell(ctx, spec, compiler_class,
-                                          explorations)
+            result, error = execute_cell(ctx.config, ctx.deadline, spec,
+                                         compiler_class, ctx.explorations)
         except BudgetExhausted as exc:
             if exc.scope == "campaign":
                 # Campaign deadline expired: stop cleanly; the journal
@@ -453,41 +519,47 @@ def _finish(result: CampaignResult, ctx: _CampaignContext,
     result.budget_exhausted = ctx.budget_exhausted
     result.resumed_cells = ctx.resumed_cells
     result.journal_path = journal_path
+    result.cache_hits = ctx.explorations.hits
+    result.cache_misses = ctx.explorations.misses
     return result
 
 
+def _run_rows(config: CampaignConfig, rows: list[ExperimentRow], *,
+              journal_path, resume: bool, jobs: int) -> CampaignResult:
+    """Dispatch a canonical plan to the sequential or parallel engine."""
+    if jobs is None or jobs == 1:
+        ctx = _CampaignContext(config, journal_path, resume)
+        result = CampaignResult()
+        for row in rows:
+            result.append(_run_experiment(ctx, row))
+        return _finish(result, ctx, journal_path)
+    from repro.parallel.pool import run_parallel_rows
+
+    return run_parallel_rows(config, rows, jobs=jobs,
+                             journal_path=journal_path, resume=resume)
+
+
 def run_campaign(config: CampaignConfig | None = None, *,
-                 journal_path=None, resume: bool = False) -> CampaignResult:
+                 journal_path=None, resume: bool = False,
+                 jobs: int = 1) -> CampaignResult:
     """The full four-experiment evaluation (paper Table 2).
 
     Returns one report per compiler: native methods first, then the
     three byte-code compilers, mirroring the paper's table rows.  With
     ``journal_path`` set, completed cells are checkpointed to JSONL;
-    ``resume=True`` replays them instead of re-running.
+    ``resume=True`` replays them instead of re-running.  ``jobs > 1``
+    shards the cell grid across that many worker processes
+    (``jobs=0`` = one per CPU); aggregate reports are byte-identical
+    to a sequential run of the same config.
     """
     config = config or CampaignConfig()
-    ctx = _CampaignContext(config, journal_path, resume)
-    result = CampaignResult()
-
-    natives = native_specs(config)
-    native_explorations: dict = {}
-    result.append(
-        _run_experiment(ctx, "main", "Native Methods (primitives)", natives,
-                        NativeMethodCompiler, native_explorations)
-    )
-
-    bytecodes = bytecode_specs(config)
-    bytecode_explorations: dict = {}
-    for compiler_class in BYTECODE_COMPILERS:
-        report = _run_experiment(ctx, "main", compiler_class.name, bytecodes,
-                                 compiler_class, bytecode_explorations)
-        result.append(report)
-    return _finish(result, ctx, journal_path)
+    return _run_rows(config, campaign_rows(config),
+                     journal_path=journal_path, resume=resume, jobs=jobs)
 
 
 def run_sequence_campaign(
     config: CampaignConfig | None = None, *,
-    journal_path=None, resume: bool = False,
+    journal_path=None, resume: bool = False, jobs: int = 1,
 ) -> CampaignResult:
     """Extension experiment: the byte-code *sequence* corpus.
 
@@ -495,23 +567,9 @@ def run_sequence_campaign(
     producer/consumer pairs through the three byte-code compilers —
     the paper's future work (Section 7) as a campaign of its own.
     """
-    from repro.concolic.sequences import (
-        generate_pair_sequences,
-        interesting_sequences,
-    )
-
     config = config or CampaignConfig()
-    ctx = _CampaignContext(config, journal_path, resume)
-    specs = interesting_sequences() + generate_pair_sequences()
-    explorations: dict = {}
-    result = CampaignResult()
-    for compiler_class in BYTECODE_COMPILERS:
-        report = _run_experiment(
-            ctx, "sequences", f"{compiler_class.name} (sequences)", specs,
-            compiler_class, explorations,
-        )
-        result.append(report)
-    return _finish(result, ctx, journal_path)
+    return _run_rows(config, sequence_campaign_rows(config),
+                     journal_path=journal_path, resume=resume, jobs=jobs)
 
 
 def _accumulate(report: CompilerReport, result: InstructionTestResult) -> None:

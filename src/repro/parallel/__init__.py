@@ -1,0 +1,33 @@
+"""The process-pool campaign engine (``python -m repro campaign -j N``).
+
+Shards the campaign's (instruction x compiler x backend) cell grid
+across OS worker processes and merges worker results back into the
+canonical plan order, so aggregate reports are byte-identical to a
+sequential run of the same config:
+
+* :mod:`repro.parallel.shard` — the shard planner: one shard per
+  instruction, carrying every compiler cell of that instruction so a
+  worker explores each instruction exactly once (the exploration
+  cache);
+* :mod:`repro.parallel.worker` — the worker entrypoint executed in a
+  child process: runs a shard cell by cell behind the robustness
+  layer, appends completed cells to the shared journal, streams
+  records to the parent;
+* :mod:`repro.parallel.pool` — the pool driver: bounded concurrency,
+  per-worker deadlines, crash detection (a dead worker costs one cell;
+  the rest of its shard is re-queued), checkpoint/resume;
+* :mod:`repro.parallel.merge` — the deterministic merge of cell
+  records into :class:`~repro.difftest.runner.CampaignResult`.
+"""
+
+from repro.parallel.pool import resolve_jobs, run_parallel_rows
+from repro.parallel.shard import Cell, Shard, plan_cells, plan_shards
+
+__all__ = [
+    "Cell",
+    "Shard",
+    "plan_cells",
+    "plan_shards",
+    "resolve_jobs",
+    "run_parallel_rows",
+]

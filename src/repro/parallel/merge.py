@@ -1,0 +1,49 @@
+"""Deterministic merge: cell records -> campaign reports.
+
+Workers complete cells in whatever order scheduling produces; the
+merge erases that nondeterminism by replaying the records against the
+canonical plan — the same row order, the same spec order, the same
+accumulation the sequential engine uses.  Aggregate counts, report row
+ordering and the quarantine section are therefore byte-identical
+between ``-j 1`` and ``-j N`` (asserted by
+``tests/parallel/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from repro.difftest.runner import (
+    CampaignResult,
+    CompilerReport,
+    _accumulate,
+    _rebuild_cell,
+)
+from repro.robustness.checkpoint import cell_key
+from repro.robustness.quarantine import Quarantine, QuarantineEntry
+
+
+def merge_records(rows, records: dict) -> CampaignResult:
+    """Fold ``key -> record`` into reports, in canonical plan order.
+
+    Cells without a record (deadline expired before they ran) are
+    simply absent, mirroring the sequential engine stopping mid-row.
+    Quarantine entries ride inside their cell's record, so the
+    quarantine section also comes out in plan order.
+    """
+    result = CampaignResult()
+    quarantine = Quarantine()
+    for row in rows:
+        report = CompilerReport(compiler=row.label)
+        for spec in row.specs:
+            key = cell_key(row.experiment, row.compiler_class.name,
+                           spec.kind, spec.name)
+            record = records.get(key)
+            if record is None:
+                continue
+            _accumulate(report, _rebuild_cell(record))
+            if record.get("quarantined"):
+                quarantine.add(
+                    QuarantineEntry.from_dict(record["quarantined"])
+                )
+        result.append(report)
+    result.quarantine = quarantine
+    return result

@@ -1,0 +1,227 @@
+"""The process pool: bounded fan-out of shards with crash containment.
+
+One child process per shard, at most ``jobs`` alive at once.  The
+parent multiplexes over every worker's result pipe and process
+sentinel (``multiprocessing.connection.wait``), so it reacts to both
+completed cells and dying processes without polling loops.
+
+Failure semantics, composing with the PR-2 robustness layer:
+
+* **Recoverable crashes** (exceptions at any pipeline stage) are
+  handled *inside* the worker by the shared cell executor — retry with
+  reduced budgets, then quarantine — identically to ``-j 1``.
+* **Process death** (segfault, ``os._exit``, kill) is detected by the
+  parent via the process sentinel: the first cell of the shard without
+  a delivered record is charged as a ``WorkerCrash`` quarantine, and
+  the rest of the shard is re-queued on a fresh process.  A dead
+  worker costs one cell, never the run.
+* **Deadlines** are enforced twice: each worker rebuilds the remaining
+  campaign budget at spawn (`Deadline.child` semantics — monotonic
+  clocks do not cross ``fork``), and the parent uses the same deadline
+  as its ``wait`` timeout, terminating workers that outlive it (a hung
+  worker cannot outlive the budget).  Expiry stops the campaign
+  cleanly with ``budget_exhausted`` set; a journal makes it resumable.
+* **Checkpointing**: workers append their own records to the journal
+  (appends are single-``write`` and checksummed, safe under concurrent
+  writers); the parent journals only the ``WorkerCrash`` cells it
+  synthesizes.  ``--resume`` therefore works on a journal written by
+  any mix of parallel and sequential runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+from repro.robustness import errors as error_taxonomy
+from repro.robustness.budgets import Deadline
+from repro.robustness.checkpoint import CampaignJournal
+from repro.robustness.errors import CampaignError, WorkerCrash
+from repro.robustness.quarantine import QuarantineEntry
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``-j 0`` (or None) means one worker per available CPU."""
+    if not jobs:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+@dataclass
+class _Running:
+    """Parent-side state of one live worker process."""
+
+    shard: object
+    process: object
+    conn: object
+    received: set = field(default_factory=set)
+    done: bool = False
+    budget: str | None = None
+    failure: tuple | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _handle_message(running: _Running, message, records: dict) -> None:
+    tag = message[0]
+    if tag == "cell":
+        _, key, record = message
+        records[key] = record
+        running.received.add(key)
+    elif tag == "budget":
+        running.budget = message[1]
+    elif tag == "fail":
+        running.failure = (message[1], message[2])
+    elif tag == "done":
+        running.done = True
+        running.cache_hits, running.cache_misses = message[1], message[2]
+
+
+def _drain(running: _Running, records: dict) -> None:
+    """Consume every message currently buffered on the worker's pipe."""
+    try:
+        while running.conn.poll():
+            _handle_message(running, running.conn.recv(), records)
+    except (EOFError, OSError):
+        pass
+
+
+def _charge_worker_crash(running: _Running, rows, config, records: dict,
+                         journal, pending: deque) -> None:
+    """A worker died mid-shard: quarantine the in-flight cell, re-queue
+    the rest of its shard."""
+    from repro.difftest.runner import (
+        _backend_scope,
+        _crashed_result,
+        _serialize_cell,
+    )
+
+    victim = next(
+        (cell for cell in running.shard.cells
+         if cell.key not in running.received),
+        None,
+    )
+    if victim is None:
+        # Every record arrived but the final handshake was lost —
+        # nothing to charge, nothing to re-run.
+        return
+    row = rows[victim.row_index]
+    spec = row.specs[victim.spec_index]
+    error = WorkerCrash(
+        f"worker process exited with code {running.process.exitcode} "
+        f"while running {victim.instruction}/{victim.compiler}"
+    )
+    entry = QuarantineEntry.from_error(
+        error,
+        instruction=spec.name,
+        kind=spec.kind,
+        compiler=row.compiler_class.name,
+        backend=_backend_scope(config),
+        attempts=1,
+    )
+    record = _serialize_cell(
+        victim.key, _crashed_result(spec, row.compiler_class, config, error),
+        entry,
+    )
+    records[victim.key] = record
+    if journal is not None:
+        journal.append(record)
+    remainder = running.shard.remainder_after(victim)
+    if remainder is not None:
+        pending.appendleft(remainder)
+
+
+def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
+                      resume: bool = False):
+    """Execute a canonical plan on a worker pool; see module docstring."""
+    from repro.parallel.merge import merge_records
+    from repro.parallel.shard import plan_cells, plan_shards
+    from repro.parallel.worker import run_shard
+
+    jobs = resolve_jobs(jobs)
+    plan = rows[0].experiment if rows else "main"
+    journal = CampaignJournal(journal_path) if journal_path else None
+    if journal is not None and not resume:
+        journal.path.unlink(missing_ok=True)
+    completed = journal.load() if (journal is not None and resume) else {}
+    planned = {cell.key for cell in plan_cells(rows)}
+    records = {key: rec for key, rec in completed.items() if key in planned}
+    resumed_cells = len(records)
+
+    deadline = Deadline(config.deadline_seconds)
+    pending: deque = deque(plan_shards(rows, records))
+    running: dict = {}  # process sentinel -> _Running
+    context = multiprocessing.get_context("fork")
+    budget_exhausted = False
+    failure = None
+    cache_hits = cache_misses = 0
+
+    try:
+        while pending or running:
+            if deadline.expired:
+                budget_exhausted = True
+                break
+            while pending and len(running) < jobs:
+                shard = pending.popleft()
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=run_shard,
+                    args=(child_conn, plan, config, shard,
+                          deadline.remaining(), journal_path),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                running[process.sentinel] = _Running(shard, process,
+                                                     parent_conn)
+            by_conn = {entry.conn: entry for entry in running.values()}
+            handles = list(by_conn) + list(running)
+            ready = connection.wait(handles, timeout=deadline.remaining())
+            exited = []
+            for handle in ready:
+                entry = by_conn.get(handle)
+                if entry is not None:
+                    _drain(entry, records)
+                elif handle in running:
+                    exited.append(handle)
+            for sentinel in exited:
+                entry = running.pop(sentinel)
+                entry.process.join()
+                _drain(entry, records)
+                entry.conn.close()
+                cache_hits += entry.cache_hits
+                cache_misses += entry.cache_misses
+                if entry.failure is not None:
+                    failure = entry.failure
+                elif entry.budget is not None:
+                    budget_exhausted = True
+                elif not entry.done:
+                    _charge_worker_crash(entry, rows, config, records,
+                                         journal, pending)
+            if failure is not None or budget_exhausted:
+                break
+    finally:
+        for entry in running.values():
+            entry.process.terminate()
+        for entry in running.values():
+            entry.process.join()
+            entry.conn.close()
+
+    if failure is not None:
+        error_class, message = failure
+        crash_class = getattr(error_taxonomy, error_class, CampaignError)
+        raise crash_class(message)
+
+    result = merge_records(rows, records)
+    result.budget_exhausted = budget_exhausted
+    result.resumed_cells = resumed_cells
+    result.journal_path = journal_path
+    result.workers = jobs
+    result.cache_hits = cache_hits
+    result.cache_misses = cache_misses
+    return result

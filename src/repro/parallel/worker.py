@@ -1,0 +1,101 @@
+"""The worker entrypoint: one shard, executed in a child process.
+
+A worker owns a full OS process, so `guard()`'s in-process crash
+isolation is upgraded to real process isolation: a segfault,
+``os._exit`` or OOM kill takes out the worker, the parent notices the
+dead process and charges exactly the in-flight cell (see
+:mod:`repro.parallel.pool`).  Everything *recoverable* is still
+handled in-worker with the same retry/quarantine policy as the
+sequential engine, via the shared
+:func:`~repro.difftest.runner.execute_cell`.
+
+The worker streams one message per completed cell back through its
+pipe and appends the same record to the shared journal itself —
+journal appends are concurrency-safe
+(:mod:`repro.robustness.checkpoint`), and worker-side appends mean a
+parent crash loses nothing a worker finished.
+
+Wire protocol (worker -> parent), all plain picklable data:
+
+* ``("cell", key, record)`` — one completed (or quarantined) cell;
+* ``("budget", message)`` — the campaign deadline expired in-worker;
+  the shard's remaining cells were not run;
+* ``("fail", error_class, message)`` — ``fail_fast`` is set and a cell
+  crashed; the parent re-raises;
+* ``("done", cache_hits, cache_misses)`` — the shard completed.
+"""
+
+from __future__ import annotations
+
+from repro.concolic.explorer import ExplorationCache
+from repro.difftest.runner import (
+    _crashed_result,
+    _backend_scope,
+    _serialize_cell,
+    execute_cell,
+)
+from repro.robustness.budgets import Deadline
+from repro.robustness.checkpoint import CampaignJournal
+from repro.robustness.errors import BudgetExhausted, CampaignError
+from repro.robustness.quarantine import QuarantineEntry
+
+
+def resolve_rows(plan: str, config):
+    """Rebuild the canonical plan inside the worker process.
+
+    The plan is a pure function of the config, so parent and worker
+    independently derive identical rows; shards address into them by
+    ``(row_index, spec_index)``.
+    """
+    from repro.difftest.runner import campaign_rows, sequence_campaign_rows
+
+    if plan == "main":
+        return campaign_rows(config)
+    if plan == "sequences":
+        return sequence_campaign_rows(config)
+    raise ValueError(f"unknown campaign plan {plan!r}")
+
+
+def run_shard(conn, plan: str, config, shard, remaining_seconds,
+              journal_path) -> None:
+    """Execute *shard* cell by cell, streaming records to *conn*."""
+    rows = resolve_rows(plan, config)
+    deadline = Deadline(remaining_seconds)
+    journal = CampaignJournal(journal_path) if journal_path else None
+    # One cache per shard = one exploration per instruction, shared by
+    # every compiler cell of the shard (the shard planner guarantees a
+    # shard never spans instructions).
+    cache = ExplorationCache()
+    try:
+        for cell in shard.cells:
+            row = rows[cell.row_index]
+            spec = row.specs[cell.spec_index]
+            compiler_class = row.compiler_class
+            try:
+                result, error = execute_cell(config, deadline, spec,
+                                             compiler_class, cache)
+            except BudgetExhausted as exc:
+                conn.send(("budget", str(exc)))
+                return
+            except CampaignError as exc:
+                # Only reachable with fail_fast: hand the classified
+                # error to the parent for re-raising.
+                conn.send(("fail", exc.error_class, str(exc)))
+                return
+            entry = None
+            if error is not None:
+                entry = QuarantineEntry.from_error(
+                    error,
+                    instruction=spec.name,
+                    kind=spec.kind,
+                    compiler=compiler_class.name,
+                    backend=_backend_scope(config),
+                )
+                result = _crashed_result(spec, compiler_class, config, error)
+            record = _serialize_cell(cell.key, result, entry)
+            if journal is not None:
+                journal.append(record)
+            conn.send(("cell", cell.key, record))
+        conn.send(("done", cache.hits, cache.misses))
+    finally:
+        conn.close()

@@ -32,6 +32,18 @@ class Deadline:
             return None
         return max(0.0, self._expires - time.monotonic())
 
+    def child(self) -> "Deadline":
+        """A fresh deadline covering this one's remaining budget.
+
+        Monotonic clocks are per-process, so a ``Deadline`` cannot
+        cross a ``fork``: the parallel engine hands each worker the
+        *remaining seconds* at spawn time and the worker rebuilds its
+        own clock from them.  The parent keeps enforcing the original
+        deadline; the child's copy makes every in-worker budget check
+        (explorer loop, simulator, per-path test loop) work unchanged.
+        """
+        return Deadline(self.remaining())
+
     @property
     def expired(self) -> bool:
         return self._expires is not None and time.monotonic() >= self._expires

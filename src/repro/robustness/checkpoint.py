@@ -7,15 +7,23 @@ are skipped, so an interrupted campaign (crash, ^C, expired deadline)
 picks up where it left off and still produces identical aggregate
 counts.
 
-Records are written with an explicit flush per cell, so at most the
-cell in flight is lost on a hard kill.  A torn trailing line (partial
-write) is tolerated and ignored on load.
+The journal is safe under **concurrent writers** (the parallel engine's
+workers append directly):
+
+* each record is emitted as one ``os.write`` on an ``O_APPEND``
+  descriptor, so lines from different processes never interleave;
+* each record carries a CRC-32 of its own payload, verified on load —
+  a torn or corrupted line is skipped (not trusted, not fatal) and
+  every later well-formed record is still replayed;
+* duplicate keys resolve last-wins, so a cell re-run after a partial
+  failure supersedes its earlier record.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 
 #: Bumped when the record shape changes; mismatched journals are ignored
@@ -28,6 +36,34 @@ def cell_key(experiment: str, compiler: str, kind: str, instruction: str) -> str
     return f"{experiment}::{compiler}::{kind}::{instruction}"
 
 
+def _checksum(payload: str) -> int:
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_record(record: dict) -> bytes:
+    """One journal line: versioned, checksummed, newline-terminated."""
+    record = dict(record, version=JOURNAL_VERSION)
+    payload = json.dumps(record, sort_keys=True)
+    record["crc"] = _checksum(payload)
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_record(line: str) -> dict | None:
+    """Parse and verify one journal line; None if torn/corrupt/foreign."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    crc = record.pop("crc", None)
+    if crc != _checksum(json.dumps(record, sort_keys=True)):
+        return None
+    if record.get("version") != JOURNAL_VERSION:
+        return None
+    return record
+
+
 class CampaignJournal:
     """One JSONL file journaling completed campaign cells."""
 
@@ -37,7 +73,12 @@ class CampaignJournal:
     # ------------------------------------------------------------------
 
     def load(self) -> dict:
-        """key -> record for every well-formed journaled cell."""
+        """key -> record for every well-formed journaled cell.
+
+        Malformed lines (torn writes, checksum mismatches) are skipped
+        individually: with concurrent writers a bad line is not
+        necessarily the last one.  Duplicate keys resolve last-wins.
+        """
         if not self.path.exists():
             return {}
         completed: dict = {}
@@ -46,13 +87,8 @@ class CampaignJournal:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn write from an interrupted run: the cell was
-                    # not completed, drop it and every later line.
-                    break
-                if record.get("version") != JOURNAL_VERSION:
+                record = decode_record(line)
+                if record is None:
                     continue
                 key = record.get("key")
                 if key:
@@ -60,10 +96,19 @@ class CampaignJournal:
         return completed
 
     def append(self, record: dict) -> None:
-        """Durably append one completed-cell record."""
-        record = dict(record, version=JOURNAL_VERSION)
+        """Durably append one completed-cell record.
+
+        The entire line goes out in a single ``write(2)`` on an
+        ``O_APPEND`` descriptor, so concurrent appenders (parallel
+        workers) never tear each other's records.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        data = encode_record(record)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)

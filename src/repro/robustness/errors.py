@@ -72,6 +72,15 @@ class HarnessCrash(CampaignError):
     stage = "harness"
 
 
+class WorkerCrash(CampaignError):
+    """A parallel worker process died without delivering a cell result
+    (segfault, ``os._exit``, OOM kill).  Attributed to the cell that
+    was in flight when the process disappeared; the rest of the
+    worker's shard is re-queued on a fresh process."""
+
+    stage = "worker"
+
+
 class BudgetExhausted(CampaignError):
     """A wall-clock or fuel budget ran out.
 
@@ -94,6 +103,7 @@ _STAGE_CRASHES = {
     "simulator": SimulatorCrash,
     "solver": SolverCrash,
     "harness": HarnessCrash,
+    "worker": WorkerCrash,
 }
 
 

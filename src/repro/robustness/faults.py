@@ -20,9 +20,14 @@ from repro.errors import InvalidMemoryAccess
 from repro.robustness.errors import BudgetExhausted
 
 #: Fault kinds: raise a generic exception, raise a raw memory fault,
-#: busy-wait until the deadline trips (a simulated hang), or raise
-#: KeyboardInterrupt (a simulated ^C for checkpoint/resume tests).
-FAULT_KINDS = ("raise", "memory", "hang", "interrupt")
+#: busy-wait until the deadline trips (a simulated hang), raise
+#: KeyboardInterrupt (a simulated ^C for checkpoint/resume tests), or
+#: kill the hosting process outright (a simulated segfault; only
+#: meaningful inside a parallel worker — see repro.parallel).
+FAULT_KINDS = ("raise", "memory", "hang", "interrupt", "die")
+
+#: Exit status of a "die" fault, distinguishable from a normal exit.
+DIE_EXIT_CODE = 86
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,13 @@ def _fire(plan: FaultPlan, deadline) -> None:
         raise InvalidMemoryAccess(0x0DEAD000, f"injected: {plan.message}")
     if plan.kind == "interrupt":
         raise KeyboardInterrupt(f"injected at {plan.stage}: {plan.message}")
+    if plan.kind == "die":
+        # A hard process death: no cleanup, no exception propagation —
+        # the way a segfault or OOM kill takes out a worker.  Only the
+        # parallel engine's process isolation can absorb this.
+        import os
+
+        os._exit(DIE_EXIT_CODE)
     if plan.kind == "hang":
         # A hang only terminates because a budget bounds it: burn the
         # clock until the deadline trips, then report exhaustion.  With

@@ -1,0 +1,84 @@
+"""Checkpoint/resume of parallel runs, in every mode combination.
+
+The journal is the only cross-run state, and workers append to it
+concurrently; these tests assert a journal written by a parallel run
+resumes under both engines (and vice versa) with aggregate counts
+identical to an uninterrupted sequential baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.difftest.report import format_table2
+from repro.difftest.runner import CampaignConfig, run_campaign
+from repro.jit.machine.x86 import X86Backend
+from repro.robustness.checkpoint import CampaignJournal
+from tests.robustness.test_campaign_resilience import cell_summaries
+
+CONFIG = CampaignConfig(max_bytecodes=2, max_natives=1,
+                        backends=(X86Backend,))
+
+#: 1 native cell + 2 bytecodes x 3 compilers.
+TOTAL_CELLS = 7
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_campaign(CONFIG)
+
+
+def test_parallel_run_journals_every_cell(tmp_path, baseline):
+    journal = tmp_path / "full.jsonl"
+    reports = run_campaign(CONFIG, jobs=3, journal_path=journal)
+    assert format_table2(reports) == format_table2(baseline)
+    assert len(CampaignJournal(journal).load()) == TOTAL_CELLS
+
+
+@pytest.mark.parametrize("resume_jobs", [1, 3])
+def test_truncated_parallel_journal_resumes(tmp_path, baseline, resume_jobs):
+    """Drop the tail of a parallel journal (simulating a mid-run kill)
+    and resume with either engine: identical aggregate counts."""
+    journal = tmp_path / f"partial{resume_jobs}.jsonl"
+    run_campaign(CONFIG, jobs=3, journal_path=journal)
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:3]) + "\n")
+
+    resumed = run_campaign(CONFIG, jobs=resume_jobs, journal_path=journal,
+                           resume=True)
+    assert resumed.resumed_cells == 3
+    assert format_table2(resumed) == format_table2(baseline)
+    assert cell_summaries(resumed) == cell_summaries(baseline)
+    # The journal is whole again after the resumed run.
+    assert len(CampaignJournal(journal).load()) == TOTAL_CELLS
+
+
+def test_sequential_journal_resumes_in_parallel(tmp_path, baseline):
+    journal = tmp_path / "seq.jsonl"
+    run_campaign(CONFIG, journal_path=journal)
+    resumed = run_campaign(CONFIG, jobs=4, journal_path=journal, resume=True)
+    assert resumed.resumed_cells == TOTAL_CELLS
+    assert format_table2(resumed) == format_table2(baseline)
+
+
+def test_expired_deadline_stops_parallel_run_cleanly(tmp_path, baseline):
+    journal = tmp_path / "deadline.jsonl"
+    exhausted = run_campaign(replace(CONFIG, deadline_seconds=0.0),
+                             jobs=2, journal_path=journal)
+    assert exhausted.budget_exhausted
+    assert sum(row.tested_instructions for row in exhausted) == 0
+
+    resumed = run_campaign(CONFIG, jobs=2, journal_path=journal, resume=True)
+    assert not resumed.budget_exhausted
+    assert format_table2(resumed) == format_table2(baseline)
+
+
+def test_fresh_parallel_run_discards_stale_journal(tmp_path):
+    journal = tmp_path / "stale.jsonl"
+    journal.write_text('{"garbage": true}\n')
+    run_campaign(CONFIG, jobs=2, journal_path=journal)
+    loaded = CampaignJournal(journal).load()
+    assert len(loaded) == TOTAL_CELLS
+    assert "garbage" not in journal.read_text()

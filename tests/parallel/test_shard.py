@@ -1,0 +1,90 @@
+"""The shard planner: coverage, granularity, ordering, resume filtering."""
+
+from __future__ import annotations
+
+from repro.difftest.runner import (
+    CampaignConfig,
+    campaign_rows,
+    sequence_campaign_rows,
+)
+from repro.jit.machine.x86 import X86Backend
+from repro.parallel.shard import plan_cells, plan_shards
+
+CONFIG = CampaignConfig(max_bytecodes=3, max_natives=2,
+                        backends=(X86Backend,))
+
+
+def test_every_cell_planned_exactly_once():
+    rows = campaign_rows(CONFIG)
+    planned = [cell.key for cell in plan_cells(rows)]
+    assert len(planned) == len(set(planned))
+    # 2 natives x 1 compiler + 3 bytecodes x 3 compilers
+    assert len(planned) == 2 + 3 * 3
+
+    sharded = [cell.key for shard in plan_shards(rows) for cell in shard.cells]
+    assert sorted(sharded) == sorted(planned)
+
+
+def test_shards_never_span_instructions():
+    rows = campaign_rows(CONFIG)
+    for shard in plan_shards(rows):
+        assert len({(c.kind, c.instruction) for c in shard.cells}) == 1
+
+
+def test_bytecode_shard_carries_all_three_compilers_in_plan_order():
+    rows = campaign_rows(CONFIG)
+    shards = plan_shards(rows)
+    bytecode_shards = [s for s in shards if s.cells[0].kind == "bytecode"]
+    assert len(bytecode_shards) == 3
+    for shard in bytecode_shards:
+        assert [cell.compiler for cell in shard.cells] == [
+            "SimpleStackBasedCogit",
+            "StackToRegisterCogit",
+            "RegisterAllocatingCogit",
+        ]
+
+
+def test_shard_order_natives_first_then_bytecodes():
+    rows = campaign_rows(CONFIG)
+    kinds = [shard.cells[0].kind for shard in plan_shards(rows)]
+    assert kinds == ["native"] * 2 + ["bytecode"] * 3
+
+
+def test_completed_cells_are_excluded():
+    rows = campaign_rows(CONFIG)
+    all_cells = list(plan_cells(rows))
+    completed = {all_cells[0].key, all_cells[3].key}
+    remaining = [
+        cell.key
+        for shard in plan_shards(rows, completed)
+        for cell in shard.cells
+    ]
+    assert set(remaining) == {c.key for c in all_cells} - completed
+
+
+def test_fully_completed_instruction_produces_no_shard():
+    rows = campaign_rows(CONFIG)
+    natives = [c for c in plan_cells(rows) if c.kind == "native"]
+    shards = plan_shards(rows, {c.key for c in natives})
+    assert all(s.cells[0].kind == "bytecode" for s in shards)
+
+
+def test_remainder_after_drops_victim_and_predecessors():
+    rows = campaign_rows(CONFIG)
+    shard = [s for s in plan_shards(rows) if len(s.cells) == 3][0]
+    remainder = shard.remainder_after(shard.cells[1])
+    assert remainder.cells == (shard.cells[2],)
+    assert shard.remainder_after(shard.cells[2]) is None
+
+
+def test_sequence_plan_shards_by_sequence_name():
+    rows = sequence_campaign_rows(CONFIG)
+    shards = plan_shards(rows)
+    assert shards  # the corpus is non-empty
+    for shard in shards:
+        assert shard.cells[0].kind == "sequence"
+        # One cell per byte-code compiler; a couple of sequence names
+        # appear in both the curated and the generated corpus, so those
+        # shards carry both occurrences (6 cells, identical results).
+        assert len(shard.cells) % 3 == 0
+        assert shard.cells[0].experiment == "sequences"

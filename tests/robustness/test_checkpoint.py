@@ -1,13 +1,17 @@
-"""The JSONL campaign journal: round-trip, torn writes, versioning."""
+"""The JSONL campaign journal: round-trip, torn writes, versioning,
+and safety under concurrent writers."""
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 from repro.robustness.checkpoint import (
     JOURNAL_VERSION,
     CampaignJournal,
     cell_key,
+    decode_record,
+    encode_record,
 )
 
 
@@ -87,3 +91,78 @@ class TestJournalDurability:
         journal.append(record_for("main::c::bytecode::b"))
 
         assert len(journal.load()) == 2
+
+    def test_corrupt_middle_line_loses_only_that_record(self, tmp_path):
+        """With concurrent writers a bad line is not necessarily the
+        last one: later well-formed records must still replay."""
+        journal = CampaignJournal(tmp_path / "middle.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        journal.append(record_for("main::c::bytecode::b"))
+        journal.append(record_for("main::c::bytecode::c"))
+        lines = journal.path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # tear record b
+        journal.path.write_text("\n".join(lines) + "\n")
+
+        assert set(journal.load()) == {
+            "main::c::bytecode::a", "main::c::bytecode::c",
+        }
+
+    def test_bit_flip_fails_the_checksum(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "flip.jsonl")
+        journal.append(record_for("main::c::bytecode::a", differing_paths=1))
+        flipped = journal.path.read_text().replace(
+            '"differing_paths": 1', '"differing_paths": 7'
+        )
+        journal.path.write_text(flipped)
+        assert journal.load() == {}
+
+    def test_duplicate_keys_resolve_last_wins(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "dupes.jsonl")
+        journal.append(record_for("main::c::bytecode::a", differing_paths=0))
+        journal.append(record_for("main::c::bytecode::a", differing_paths=2))
+        loaded = journal.load()
+        assert loaded["main::c::bytecode::a"]["differing_paths"] == 2
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = record_for("main::c::bytecode::a")
+        line = encode_record(record).decode("utf-8").strip()
+        decoded = decode_record(line)
+        assert decoded["key"] == record["key"]
+        assert decoded["version"] == JOURNAL_VERSION
+
+    def test_rejects_uncksummed_legacy_lines(self):
+        legacy = dict(record_for("k"), version=JOURNAL_VERSION)
+        assert decode_record(json.dumps(legacy)) is None
+
+
+def _append_batch(path, writer_id, count):
+    journal = CampaignJournal(path)
+    for index in range(count):
+        journal.append(record_for(f"main::w{writer_id}::bytecode::i{index}",
+                                  differing_paths=writer_id))
+
+
+class TestConcurrentWriters:
+    def test_parallel_appends_never_tear(self, tmp_path):
+        """Four processes hammering one journal: every record must
+        arrive intact (single write() per line on O_APPEND)."""
+        path = tmp_path / "concurrent.jsonl"
+        context = multiprocessing.get_context("fork")
+        writers = [
+            context.Process(target=_append_batch, args=(path, wid, 50))
+            for wid in range(4)
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join()
+            assert process.exitcode == 0
+
+        loaded = CampaignJournal(path).load()
+        assert len(loaded) == 200
+        for wid in range(4):
+            for index in range(50):
+                record = loaded[f"main::w{wid}::bytecode::i{index}"]
+                assert record["differing_paths"] == wid

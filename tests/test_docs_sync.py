@@ -1,0 +1,63 @@
+"""Docs-as-test: the operator guide must cover the real CLI surface.
+
+``docs/CAMPAIGN.md`` promises to document *every* flag of the
+``campaign`` subcommand.  This test introspects the live argparse
+parser so the guide cannot silently drift from ``src/repro/cli.py``:
+adding a campaign flag without documenting it fails here.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "CAMPAIGN.md"
+
+
+def campaign_subparser() -> argparse.ArgumentParser:
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return subparsers.choices["campaign"]
+
+
+def campaign_flags() -> list[str]:
+    flags = []
+    for action in campaign_subparser()._actions:
+        if isinstance(action, argparse._HelpAction):
+            continue
+        flags.extend(action.option_strings)
+    return flags
+
+
+def test_the_campaign_parser_has_flags():
+    """Guard the introspection itself: if argparse internals shift and
+    we silently enumerate nothing, the sync test below would pass
+    vacuously."""
+    flags = campaign_flags()
+    assert "--jobs" in flags
+    assert "--journal" in flags
+    assert len(flags) >= 10
+
+
+@pytest.mark.parametrize("flag", campaign_flags())
+def test_campaign_flag_is_documented(flag):
+    text = DOCS.read_text(encoding="utf-8")
+    assert f"`{flag}" in text or f"{flag} " in text, (
+        f"{flag} is missing from docs/CAMPAIGN.md — every campaign "
+        "flag must appear in the operator guide"
+    )
+
+
+def test_guide_links_are_not_stale():
+    """The guide points at sibling docs and tests; keep them existing."""
+    root = DOCS.parent.parent
+    assert (root / "docs" / "RESILIENCE.md").exists()
+    assert (root / "tests" / "test_docs_sync.py").exists()
+    assert "DESIGN.md" in DOCS.read_text(encoding="utf-8")
