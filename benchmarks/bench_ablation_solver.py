@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro import explore_native_method, primitive_named
-from repro.concolic.solver import SolverContext, solve
+from repro.concolic.solver import SolverContext, solve_raw
 from repro.memory.bootstrap import bootstrap_memory
 
 
@@ -35,8 +35,11 @@ def workload():
 
 
 def _solve_all(context, conditions, strategy):
+    # The raw engine, deliberately: this ablation compares witness-search
+    # strategies, so the incremental layer's memo must stay out of the
+    # measurement.
     return [
-        solve(literals, context, strategy=strategy) is not None
+        solve_raw(literals, context, strategy=strategy) is not None
         for literals in conditions
     ]
 

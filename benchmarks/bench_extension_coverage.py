@@ -15,7 +15,7 @@ production compiler.
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro import NativeMethodSpec, StackToRegisterCogit, primitive_named
 from repro.concolic.sequences import interesting_sequences
 from repro.difftest.fuzz import measure_path_coverage
@@ -58,6 +58,19 @@ def test_extension_concolic_vs_random_coverage(benchmark):
             f"{report.coverage * 100:8.0f}%"
         )
     write_artifact("extension_coverage.txt", "\n".join(lines))
+    write_json_artifact(
+        "extension_coverage",
+        {
+            report.instruction: {
+                "concolic_paths": report.concolic_paths,
+                "concolic_iterations": report.concolic_iterations,
+                "covered_paths": report.covered_paths,
+                "coverage": round(report.coverage, 4),
+                "new_signatures": report.new_signatures,
+            }
+            for report in reports
+        },
+    )
 
     # Concolic enumerates every path; the random baseline misses some
     # on at least one guarded instruction even with 100x the budget of
@@ -84,4 +97,14 @@ def test_extension_sequences_clean_on_production_compiler(benchmark):
             f"diff={result.differing_paths}"
         )
     write_artifact("extension_sequences.txt", "\n".join(lines))
+    write_json_artifact(
+        "extension_sequences",
+        {
+            result.instruction: {
+                "curated_paths": result.curated_path_count,
+                "differing_paths": result.differing_paths,
+            }
+            for result in results
+        },
+    )
     assert all(result.differing_paths == 0 for result in results)

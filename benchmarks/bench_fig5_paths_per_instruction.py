@@ -10,7 +10,11 @@ is rendered from the session campaign's cached explorations.
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import (
+    distribution_payload,
+    write_artifact,
+    write_json_artifact,
+)
 from repro import bytecode_named, explore_bytecode
 from repro.difftest.report import format_distributions, paths_per_instruction
 
@@ -22,6 +26,9 @@ def test_fig5_paths_per_instruction(benchmark, explorations):
     write_artifact(
         "fig5_paths_per_instruction.txt",
         format_distributions("Paths per instruction (Fig. 5)", distributions),
+    )
+    write_json_artifact(
+        "fig5_paths_per_instruction", distribution_payload(distributions)
     )
 
     bytecode = distributions["bytecode"]

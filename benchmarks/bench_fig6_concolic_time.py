@@ -13,7 +13,11 @@ whole campaign).
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import (
+    distribution_payload,
+    write_artifact,
+    write_json_artifact,
+)
 from repro import (
     bytecode_named,
     explore_bytecode,
@@ -47,6 +51,7 @@ def test_fig6_distributions(benchmark, explorations):
             distributions,
         ),
     )
+    write_json_artifact("fig6_concolic_time", distribution_payload(distributions))
     bytecode = distributions["bytecode"]
     native = distributions["native"]
     # Native methods have more paths and thus cost more to explore.

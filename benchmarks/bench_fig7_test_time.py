@@ -14,7 +14,11 @@ from __future__ import annotations
 
 import statistics
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import (
+    distribution_payload,
+    write_artifact,
+    write_json_artifact,
+)
 from repro import (
     BytecodeInstructionSpec,
     StackToRegisterCogit,
@@ -46,6 +50,7 @@ def test_fig7_distributions(benchmark, campaign):
             distributions,
         ),
     )
+    write_json_artifact("fig7_test_time", distribution_payload(distributions))
     native = distributions["Native Methods (primitives)"]
     bytecode_means = [
         distributions[name].mean

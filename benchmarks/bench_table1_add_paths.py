@@ -20,7 +20,7 @@ float-inlining paths of this interpreter.
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro import bytecode_named, explore_bytecode
 from repro.interpreter.exits import ExitCondition
 
@@ -49,6 +49,22 @@ def test_table1_add_bytecode_paths(benchmark):
         lambda: explore_bytecode(bytecode_named("bytecodePrimAdd"))
     )
     write_artifact("table1.txt", render_table1(result))
+    write_json_artifact(
+        "table1_add_paths",
+        {
+            "path_count": result.path_count,
+            "iterations": result.iterations,
+            "elapsed_ms": round(result.elapsed_seconds * 1000, 3),
+            "paths": [
+                {
+                    "inputs": path.model.describe() or "(empty frame)",
+                    "exit": path.exit.describe(),
+                    "constraints": [str(c) for c in path.constraints],
+                }
+                for path in result.paths
+            ],
+        },
+    )
 
     conditions = [path.exit.condition for path in result.paths]
     # Paper Table 1 structure: an all-integer success path, overflow

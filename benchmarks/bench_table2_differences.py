@@ -22,7 +22,7 @@ the session-cached campaign.
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro import NativeMethodCompiler, NativeMethodSpec, primitive_named
 from repro.difftest.report import format_table2
 from repro.difftest.runner import CampaignConfig
@@ -39,6 +39,21 @@ def test_table2_differences_per_compiler(benchmark, campaign):
     assert result.differing_paths > 0  # the missing receiver check
 
     write_artifact("table2.txt", format_table2(campaign))
+    write_json_artifact(
+        "table2_differences",
+        {
+            report.compiler: {
+                "tested_instructions": report.tested_instructions,
+                "interpreter_paths": report.interpreter_paths,
+                "curated_paths": report.curated_paths,
+                "differing_paths": report.differing_paths,
+                "difference_percentage": round(
+                    report.difference_percentage, 4
+                ),
+            }
+            for report in campaign
+        },
+    )
 
     by_name = {report.compiler: report for report in campaign}
     native = by_name["Native Methods (primitives)"]

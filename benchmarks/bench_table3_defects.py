@@ -19,7 +19,7 @@ dominating and exactly one missing-interpreter-check cause
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro.difftest.defects import DefectCategory, category_summary, classify
 from repro.difftest.report import cause_listing, format_table3
 from repro.difftest.runner import all_comparisons
@@ -42,6 +42,15 @@ def test_table3_defect_families(benchmark, campaign):
     )
 
     summary = category_summary(comparisons)
+    write_json_artifact(
+        "table3_defects",
+        {
+            "families": {
+                category.value: count for category, count in summary.items()
+            },
+            "total": sum(summary.values()),
+        },
+    )
     # Exactly one missing interpreter check: primitiveAsFloat.
     assert summary[DefectCategory.MISSING_INTERPRETER_TYPE_CHECK] == 1
     # Float receiver unboxing: on the order of the paper's 13.

@@ -14,6 +14,7 @@ the full instruction set.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -62,3 +63,29 @@ def write_artifact(name: str, content: str) -> None:
     (RESULTS_DIR / name).write_text(content + "\n")
     print(f"\n----- {name} " + "-" * max(0, 60 - len(name)))
     print(content)
+
+
+def write_json_artifact(name: str, payload: dict) -> None:
+    """Machine-readable twin of a text artifact.
+
+    Written as ``BENCH_<name>.json`` next to the rendered text so the
+    perf trajectory is diffable across PRs without parsing tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def distribution_payload(distributions) -> dict:
+    """JSON-ready summary of a ``{label: Distribution}`` mapping."""
+    return {
+        label: {
+            "n": len(dist.values),
+            "min": round(dist.minimum, 6),
+            "median": round(dist.median, 6),
+            "mean": round(dist.mean, 6),
+            "max": round(dist.maximum, 6),
+            "total": round(sum(dist.values), 6),
+        }
+        for label, dist in distributions.items()
+    }

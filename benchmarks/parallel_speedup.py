@@ -1,23 +1,29 @@
-"""Measure parallel campaign speedup: `-j 1` vs `-j 2` wall clock.
+"""Measure parallel campaign speedup: `-j 1` vs `-j N` wall clock.
 
 Runs the same scoped campaign under both engines, verifies the
 aggregate reports are byte-identical (the parallel engine's contract),
-and writes the timings as a plain-text artifact.  CI runs this as the
-parallel-campaign-smoke job and uploads the result:
+and writes the timings as a plain-text artifact plus a JSON twin.  CI
+runs this as the parallel-campaign-smoke job and uploads the result:
 
     PYTHONPATH=src python benchmarks/parallel_speedup.py \
-        --max-bytecodes 4 --max-natives 2 \
         --output benchmarks/results/parallel_speedup.txt
 
-Interpretation note: speedup is bounded by the machine's core count —
-on a single-core runner expect ~1.0x (process overhead may even push
-it slightly below); the number this artifact guards is "parallel is
-correct and not pathologically slower", not a fixed ratio.
+Interpretation notes:
+
+* The workload must dwarf process fork/pipe overhead, or the "speedup"
+  measures the pool, not the campaign — the defaults are sized so the
+  sequential leg takes tens of seconds.
+* Speedup is bounded by the machine's core count.  The artifact records
+  the CPU count, and on a single-CPU box it reports ``speedup: n/a, 1
+  cpu`` instead of a meaningless ratio: with one CPU the correctness
+  claim (byte-identical reports) is still checked, the throughput claim
+  is not made.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -34,14 +40,15 @@ def timed_campaign(config: CampaignConfig, jobs: int):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--max-bytecodes", type=int, default=4)
-    parser.add_argument("--max-natives", type=int, default=2)
+    parser.add_argument("--max-bytecodes", type=int, default=24)
+    parser.add_argument("--max-natives", type=int, default=16)
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker count for the parallel leg (default: 2)")
     parser.add_argument("--output", default=None,
                         help="write the artifact here (default: stdout only)")
     args = parser.parse_args(argv)
 
+    cpus = os.cpu_count() or 1
     config = CampaignConfig(max_bytecodes=args.max_bytecodes,
                             max_natives=args.max_natives)
     sequential, seq_seconds = timed_campaign(config, jobs=1)
@@ -51,17 +58,23 @@ def main(argv=None) -> int:
         format_table2(sequential) == format_table2(parallel)
         and format_table3(sequential) == format_table3(parallel)
     )
-    speedup = seq_seconds / par_seconds if par_seconds else float("inf")
+    if cpus < 2:
+        # One CPU: a ratio only measures scheduler noise + fork cost.
+        speedup = None
+        speedup_text = f"n/a, {cpus} cpu"
+    else:
+        speedup = seq_seconds / par_seconds if par_seconds else float("inf")
+        speedup_text = f"{speedup:.2f}x"
 
     lines = [
         "Parallel campaign speedup "
         f"(max_bytecodes={args.max_bytecodes}, "
-        f"max_natives={args.max_natives}, cpus={os.cpu_count()})",
+        f"max_natives={args.max_natives}, cpus={cpus})",
         f"  -j 1: {seq_seconds:7.2f} s",
         f"  -j {args.jobs}: {par_seconds:7.2f} s"
         f"  (cache {parallel.cache_hits} hits"
         f" / {parallel.cache_misses} misses)",
-        f"  speedup: {speedup:.2f}x",
+        f"  speedup: {speedup_text}",
         f"  reports byte-identical: {'yes' if identical else 'NO'}",
     ]
     text = "\n".join(lines) + "\n"
@@ -69,6 +82,22 @@ def main(argv=None) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
+        payload = {
+            "max_bytecodes": args.max_bytecodes,
+            "max_natives": args.max_natives,
+            "cpus": cpus,
+            "jobs": args.jobs,
+            "sequential_seconds": round(seq_seconds, 4),
+            "parallel_seconds": round(par_seconds, 4),
+            "speedup": None if speedup is None else round(speedup, 4),
+            "cache_hits": parallel.cache_hits,
+            "cache_misses": parallel.cache_misses,
+            "reports_identical": identical,
+        }
+        json_path = os.path.splitext(args.output)[0] + ".json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0 if identical else 1
 
 

@@ -6,9 +6,11 @@ Subcommands mirror the library's main entry points:
 * ``test <instruction> [--compiler C] [--backend B]`` — differential
   test of every curated path (steps 2-4);
 * ``campaign [--max-bytecodes N] [--max-natives N] [-j N] [--deadline S]
-  [--journal PATH] [--resume] [--fail-fast]`` — the full Table 2/3
-  evaluation, with parallel sharding, wall-clock budgeting and
-  checkpoint/resume (operator guide: docs/CAMPAIGN.md);
+  [--journal PATH] [--resume] [--fail-fast] [--profile]
+  [--profile-json PATH]`` — the full Table 2/3 evaluation, with
+  parallel sharding, wall-clock budgeting, checkpoint/resume and
+  cache/solver profiling (operator guide: docs/CAMPAIGN.md,
+  docs/PERFORMANCE.md);
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
@@ -107,6 +109,7 @@ def cmd_test(args) -> int:
 def cmd_campaign(args) -> int:
     from repro.difftest.report import format_quarantine
 
+    profile = bool(args.profile or args.profile_json)
     config = CampaignConfig(
         max_bytecodes=args.max_bytecodes,
         max_natives=args.max_natives,
@@ -114,6 +117,7 @@ def cmd_campaign(args) -> int:
         max_sim_steps=args.max_sim_steps,
         deadline_seconds=args.deadline,
         fail_fast=args.fail_fast,
+        profile=profile,
     )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
@@ -133,6 +137,18 @@ def cmd_campaign(args) -> int:
     if quarantine_section:
         print()
         print(quarantine_section)
+    if profile and reports.perf is not None:
+        from repro.perf.report import format_profile
+
+        print()
+        print(format_profile(reports.perf))
+        if args.profile_json:
+            import json
+            from pathlib import Path
+
+            Path(args.profile_json).write_text(
+                json.dumps(reports.perf, indent=2, sort_keys=True) + "\n"
+            )
     if reports.workers > 1:
         print(
             f"\n{reports.workers} workers; exploration cache "
@@ -276,6 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--fail-fast", action="store_true",
         help="re-raise the first cell crash instead of quarantining",
+    )
+    campaign.add_argument(
+        "--profile", action="store_true",
+        help="collect cache/solver instrumentation and append a "
+             "profile section to the report (see docs/PERFORMANCE.md)",
+    )
+    campaign.add_argument(
+        "--profile-json", metavar="PATH",
+        help="write the raw profile snapshot as JSON to PATH "
+             "(implies --profile)",
     )
     campaign.set_defaults(handler=cmd_campaign)
 

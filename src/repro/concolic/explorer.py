@@ -14,11 +14,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.bytecode.methods import CompiledMethod, MethodBuilder, SymbolTable
 from repro.bytecode.opcodes import Bytecode
 from repro.concolic.materialize import Materializer
 from repro.concolic.snapshots import OutputSnapshot
-from repro.concolic.solver import Model, SolverContext, solve
+from repro.concolic.solver import Model, SolverContext, solve_status, solve_with_hint
 from repro.concolic.symbolic_memory import SymbolicObjectMemory
 from repro.concolic.trace import PathConstraint, PathTrace
 from repro.concolic.values import tracing
@@ -263,18 +264,26 @@ class ConcolicExplorer:
         result = ExplorationResult(self.spec.name, self.spec.kind)
         tried_prefixes: set = set()
         seen_paths: set = set()
-        # Work stack of constraint prefixes to realize (LIFO = DFS).
-        worklist: list[list[PathConstraint]] = [[]]
+        # Work stack of (constraint prefix, parent model) pairs to
+        # realize (LIFO = DFS).  The parent model warm-starts the
+        # solver: a child prefix shares every literal with its parent's
+        # path except the final negated one, so only the independent
+        # component containing that literal needs re-solving.
+        worklist: list = [([], None)]
         while worklist and result.iterations < self.max_iterations:
             if len(result.paths) >= self.max_paths:
                 break
             if self.deadline is not None and self.deadline.expired:
                 result.budget_exhausted = True
                 break
-            prefix = worklist.pop()
+            prefix, hint = worklist.pop()
             result.iterations += 1
             with guard("solver"):
-                model = solve([c.literal for c in prefix], self.context)
+                literals = [c.literal for c in prefix]
+                if hint is None:
+                    model, _stats = solve_status(literals, self.context)
+                else:
+                    model, _stats = solve_with_hint(literals, self.context, hint)
             if model is None:
                 result.unsat_prefixes += 1
                 continue
@@ -293,8 +302,13 @@ class ConcolicExplorer:
                 key = tuple(c.key for c in candidate)
                 if key not in tried_prefixes:
                     tried_prefixes.add(key)
-                    worklist.append(candidate)
+                    worklist.append((candidate, path.model))
         result.elapsed_seconds = time.perf_counter() - start
+        perf.incr("explore.instructions")
+        perf.incr("explore.paths", result.path_count)
+        perf.incr("explore.iterations", result.iterations)
+        perf.incr("explore.unsat_prefixes", result.unsat_prefixes)
+        perf.observe("explore", result.elapsed_seconds)
         return result
 
     # ------------------------------------------------------------------

@@ -20,18 +20,42 @@ appearing in the constraints.  The solver is sound (every model is
 checked by evaluation before being returned) but deliberately
 incomplete: a path whose witnesses are not found is reported
 unsatisfiable and curated out, mirroring the paper's own curation step.
+
+The public ``solve()`` / ``solve_status()`` entry points go through the
+incremental layer (:mod:`repro.concolic.solver.incremental`): canonical
+independence slicing, a bounded component memo, and optional prefix
+warm-starting (:func:`solve_with_hint`).  The raw single-shot engine
+stays importable as ``solve_raw`` / ``solve_status_raw`` for ablations
+and strategy-agreement tests.
 """
 
+from repro.concolic.solver.incremental import (
+    clear_default_cache,
+    default_cache,
+    solve,
+    solve_status,
+    solve_with_hint,
+)
+from repro.concolic.solver.memo import MemoCache, MemoEntry
 from repro.concolic.solver.model import Kind, KindTag, Model, SolverContext
-from repro.concolic.solver.solver import UNSAT, SolveStats, solve, solve_status
+from repro.concolic.solver.solver import UNSAT, SolveStats
+from repro.concolic.solver.solver import solve as solve_raw
+from repro.concolic.solver.solver import solve_status as solve_status_raw
 
 __all__ = [
     "Kind",
     "KindTag",
+    "MemoCache",
+    "MemoEntry",
     "Model",
     "SolveStats",
     "SolverContext",
+    "clear_default_cache",
+    "default_cache",
     "solve",
+    "solve_raw",
     "solve_status",
+    "solve_status_raw",
+    "solve_with_hint",
     "UNSAT",
 ]

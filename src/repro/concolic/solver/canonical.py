@@ -1,0 +1,228 @@
+"""Conjunction canonicalization and independence slicing.
+
+The memoized solving layer (:mod:`repro.concolic.solver.incremental`)
+keys its cache on a *canonical form* of each path condition so that
+structurally identical prefixes — which the explorer's negate-last loop
+produces in abundance across sibling instructions — share solver work.
+
+Canonicalization does two things:
+
+1. **Independence slicing.**  Literals are grouped into connected
+   components over shared variables (union-find).  A conjunction is SAT
+   iff every component is SAT, and a merged model is the disjoint union
+   of component models, because components share no variables by
+   construction.  Ground literals (no variables) form one component of
+   their own.
+
+2. **Alpha-renaming.**  Within each component, literals are sorted by a
+   name-independent *shape* string and variables are renamed to
+   ``v0, v1, ...`` in first-occurrence order.  Two exceptions keep the
+   renaming semantics-preserving, because the raw solver's variable
+   bounds are name-driven (:func:`_free_numeric_vars`):
+   ``stack_size`` / ``temp_count`` keep their names verbatim, and names
+   containing ``.raw`` (raw 32-bit slot reads) are renamed to
+   ``v<i>.raw`` so they keep their unsigned range.
+
+The canonical literal strings of a component form its cache key; the
+per-component rename maps translate cached models back into the
+conjunction's original variable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concolic.solver.solver import _collect_constants
+from repro.concolic.terms import Term
+
+#: Variable names the raw solver gives special integer bounds; they
+#: survive renaming verbatim.
+_PRESERVED_NAMES = frozenset({"stack_size", "temp_count"})
+
+
+def _shape(term: Term) -> str:
+    """Name-independent rendering of *term*, cached per interned term."""
+    cached = term.__dict__.get("_shape")
+    if cached is not None:
+        return cached
+    if term.is_var:
+        name = term.args[0]
+        if name in _PRESERVED_NAMES:
+            rendered = name
+        elif ".raw" in name:
+            rendered = "?.raw"
+        else:
+            rendered = "?"
+    elif term.is_const:
+        rendered = repr(term.args[0])
+    else:
+        parts = []
+        for arg in term.args:
+            parts.append(_shape(arg) if isinstance(arg, Term) else repr(arg))
+        rendered = f"{term.op}({','.join(parts)})"
+    object.__setattr__(term, "_shape", rendered)
+    return rendered
+
+
+def _occurrence_vars(term: Term) -> tuple:
+    """Variable names in first-occurrence DFS order, cached per term."""
+    cached = term.__dict__.get("_ovars")
+    if cached is not None:
+        return cached
+    names: list = []
+    seen: set = set()
+
+    def walk(node: Term) -> None:
+        if node.is_var:
+            name = node.args[0]
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+            return
+        for arg in node.args:
+            if isinstance(arg, Term):
+                walk(arg)
+
+    walk(term)
+    result = tuple(names)
+    object.__setattr__(term, "_ovars", result)
+    return result
+
+
+def rename_term(term: Term, mapping: dict) -> Term:
+    """Rebuild *term* with variables renamed through *mapping*.
+
+    Untouched subtrees are returned as-is (interning makes the rebuilt
+    tree share every unchanged node).
+    """
+    if term.is_var:
+        name = term.args[0]
+        new = mapping.get(name, name)
+        if new == name:
+            return term
+        return Term("var", (new,), term.sort)
+    if term.is_const:
+        return term
+    changed = False
+    new_args = []
+    for arg in term.args:
+        if isinstance(arg, Term):
+            renamed = rename_term(arg, mapping)
+            changed = changed or renamed is not arg
+            new_args.append(renamed)
+        else:
+            new_args.append(arg)
+    if not changed:
+        return term
+    return Term(term.op, tuple(new_args), term.sort)
+
+
+@dataclass
+class Component:
+    """One independent slice of a conjunction."""
+
+    #: Original literals, in canonical (shape-sorted) order.
+    literals: tuple
+    #: The same literals, alpha-renamed.
+    canon_literals: tuple
+    #: original name -> canonical name
+    rename: dict
+    #: canonical name -> original name
+    inverse: dict
+    #: Hashable cache key: the canonical literal strings.
+    key: tuple
+    #: Original variable names appearing in this component.
+    var_names: frozenset
+
+
+@dataclass
+class CanonicalConjunction:
+    """The sliced, canonicalized view of one path condition."""
+
+    components: list
+    #: All numeric constants of the whole conjunction, sorted — passed
+    #: as ``extra_constants`` into every component solve so slicing
+    #: cannot shrink a candidate pool (and part of every cache key).
+    constants: tuple
+
+
+def _rename_for(literals) -> dict:
+    """First-occurrence canonical renaming over ordered *literals*."""
+    mapping: dict = {}
+    counter = 0
+    for literal in literals:
+        for name in _occurrence_vars(literal):
+            if name in mapping or name in _PRESERVED_NAMES:
+                continue
+            if ".raw" in name:
+                mapping[name] = f"v{counter}.raw"
+            else:
+                mapping[name] = f"v{counter}"
+            counter += 1
+    return mapping
+
+
+def canonicalize(literals: list) -> CanonicalConjunction:
+    """Slice and canonicalize the conjunction *literals*."""
+    constants: set = set()
+    for literal in literals:
+        _collect_constants(literal, constants)
+    constant_key = tuple(sorted(constants, key=lambda v: (abs(v), v < 0, str(type(v)))))
+
+    # Deterministic canonical ordering: shape first, original names as
+    # a tie-break, original position as a final tie-break.
+    order = sorted(
+        range(len(literals)),
+        key=lambda i: (_shape(literals[i]), _occurrence_vars(literals[i]), i),
+    )
+    ordered = [literals[i] for i in order]
+
+    # Union-find over variable names; ground literals share one slice.
+    parent: dict = {}
+
+    def find(name):
+        root = name
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    for literal in ordered:
+        names = _occurrence_vars(literal)
+        for other in names[1:]:
+            ra, rb = find(names[0]), find(other)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+    # The union-find is complete; group literals by final root, in
+    # canonical order of first member.
+    groups: dict = {}
+    group_order: list = []
+    for literal in ordered:
+        names = _occurrence_vars(literal)
+        root = find(names[0]) if names else ""
+        if root not in groups:
+            group_order.append(root)
+            groups[root] = []
+        groups[root].append(literal)
+
+    components = []
+    for root in group_order:
+        members = groups[root]
+        mapping = _rename_for(members)
+        canon = tuple(rename_term(lit, mapping) for lit in members)
+        names: set = set()
+        for lit in members:
+            names.update(_occurrence_vars(lit))
+        components.append(
+            Component(
+                literals=tuple(members),
+                canon_literals=canon,
+                rename=mapping,
+                inverse={v: k for k, v in mapping.items()},
+                key=tuple(str(term) for term in canon),
+                var_names=frozenset(names),
+            )
+        )
+    return CanonicalConjunction(components=components, constants=constant_key)

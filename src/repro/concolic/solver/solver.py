@@ -387,7 +387,7 @@ def _literal_dependencies(term: Term, free: dict, uf: _UnionFind) -> set:
 
 
 def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
-                      budget=None, stats=None):
+                      budget=None, stats=None, extra_constants=()):
     """Witness search over the numeric residual.
 
     ``strategy="backtracking"`` (the default) assigns variables one at
@@ -395,6 +395,12 @@ def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
     its dependencies are assigned, pruning dead branches immediately.
     ``strategy="product"`` is the naive cartesian-product baseline kept
     for the ablation benchmark: it only checks complete assignments.
+
+    ``extra_constants`` seeds the candidate pools beyond the constants
+    occurring in this conjunction — the incremental layer passes the
+    whole path condition's constants when solving an independent slice,
+    so a component solved in isolation sees the same pool it would have
+    seen inside the joint conjunction.
     """
     free = _free_numeric_vars(problem, assignment)
     env = _SearchEnv(problem, assignment, uf)
@@ -408,7 +414,7 @@ def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
             return False
     if not free:
         return True
-    constants: set = set()
+    constants: set = set(extra_constants)
     for literal in problem.numeric_literals:
         _collect_constants(literal, constants)
     # Assign most-constrained variables first.
@@ -498,6 +504,7 @@ def solve(
     seed: int = 0xC0FFEE,
     strategy: str = "backtracking",
     max_nodes: int | None = None,
+    extra_constants: tuple = (),
 ) -> Model | None:
     """Find a model of the conjunction *literals*, or None.
 
@@ -505,7 +512,9 @@ def solve(
     or the naive ``"product"`` baseline (ablation only).  ``max_nodes``
     caps the total witness-search nodes (the solver's fuel budget).
     """
-    model, _stats = solve_status(literals, context, seed, strategy, max_nodes)
+    model, _stats = solve_status(
+        literals, context, seed, strategy, max_nodes, extra_constants
+    )
     return model
 
 
@@ -515,6 +524,7 @@ def solve_status(
     seed: int = 0xC0FFEE,
     strategy: str = "backtracking",
     max_nodes: int | None = None,
+    extra_constants: tuple = (),
 ) -> tuple:
     """Like :func:`solve`, but returns ``(model, SolveStats)``.
 
@@ -617,7 +627,7 @@ def solve_status(
                 stats.nodes = total - node_budget[0]
                 return None, stats
             if not _search_witnesses(problem, assignment, uf, rng, strategy,
-                                     node_budget, stats):
+                                     node_budget, stats, extra_constants):
                 continue
             model = _finalize(problem, assignment, uf)
             if model is not None and model.satisfies(list(literals)):

@@ -11,6 +11,16 @@ operations the paper's solver could not handle either.
 A term is an immutable tree: leaves are variables and constants, inner
 nodes apply an operator.  Boolean terms appear in path constraints;
 integer and float terms appear inside comparisons.
+
+Terms are **hash-consed**: constructing a term that is structurally
+equal to one built earlier in this process returns the *same* object
+(``Term("add", ...) is Term("add", ...)``), so set/dict operations over
+terms hit an identity fast path, the structural hash is computed once
+per distinct term, and the canonical string key used by the explorer's
+prefix bookkeeping is rendered once and cached.  The frozen-dataclass
+API is unchanged; equality remains *structural* (terms that cross a
+process boundary via pickle are equal to, but not identical with,
+their interned counterparts).
 """
 
 from __future__ import annotations
@@ -44,21 +54,80 @@ OOP_ATTRIBUTES = frozenset(
 )
 
 
-@dataclass(frozen=True)
+#: The hash-consing table: (op, args, sort) -> the canonical Term.
+_INTERN_TABLE: dict = {}
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
+
+def intern_table_size() -> int:
+    """Number of distinct terms interned in this process."""
+    return len(_INTERN_TABLE)
+
+
+def intern_stats() -> tuple[int, int]:
+    """(hits, misses) of the hash-consing table since process start."""
+    return _INTERN_HITS, _INTERN_MISSES
+
+
+@dataclass(frozen=True, eq=False)
 class Term:
-    """One node of a symbolic expression tree."""
+    """One node of a symbolic expression tree (interned; see module doc)."""
 
     op: str
     args: tuple
     sort: Sort
 
+    def __new__(cls, op=None, args=None, sort=None):
+        global _INTERN_HITS, _INTERN_MISSES
+        if op is None:
+            # Unpickling path: fields arrive via __setstate__, the
+            # instance stays outside the intern table (structural
+            # equality still holds).
+            return object.__new__(cls)
+        cached = _INTERN_TABLE.get((op, args, sort))
+        if cached is not None:
+            _INTERN_HITS += 1
+            return cached
+        _INTERN_MISSES += 1
+        self = object.__new__(cls)
+        _INTERN_TABLE[(op, args, sort)] = self
+        return self
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_hash", hash((self.op, self.args, self.sort))
+        )
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.op == other.op
+            and self.sort is other.sort
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
+        cached = self.__dict__.get("_str")
+        if cached is not None:
+            return cached
         if self.op == "var":
-            return str(self.args[0])
-        if self.op == "const":
-            return repr(self.args[0])
-        rendered = ", ".join(str(arg) for arg in self.args)
-        return f"{self.op}({rendered})"
+            rendered = str(self.args[0])
+        elif self.op == "const":
+            rendered = repr(self.args[0])
+        else:
+            rendered = (
+                f"{self.op}({', '.join(str(arg) for arg in self.args)})"
+            )
+        object.__setattr__(self, "_str", rendered)
+        return rendered
 
     @property
     def is_var(self) -> bool:
@@ -76,6 +145,21 @@ class Term:
         for arg in self.args:
             if isinstance(arg, Term):
                 yield from arg.variables()
+
+    def var_names(self) -> frozenset:
+        """The set of variable names in this term, cached per term."""
+        cached = self.__dict__.get("_vars")
+        if cached is not None:
+            return cached
+        if self.is_var:
+            names = frozenset((self.args[0],))
+        else:
+            names = frozenset()
+            for arg in self.args:
+                if isinstance(arg, Term):
+                    names |= arg.var_names()
+        object.__setattr__(self, "_vars", names)
+        return names
 
 
 # ----------------------------------------------------------------------

@@ -141,20 +141,7 @@ def classify(result: ComparisonResult) -> Defect:
 
 def _operand_shape(result: ComparisonResult) -> str:
     """Coarse operand-type signature of the path (int vs float)."""
-    path = result.path
-    if path is None:
-        return "unknown"
-    has_float = any(
-        str(c).startswith("is_float") for c in path.constraints
-    )
-    has_int = any(
-        str(c).startswith("is_small_int") for c in path.constraints
-    )
-    if has_float:
-        return "float"
-    if has_int:
-        return "int"
-    return "generic"
+    return result.operand_shape()
 
 
 def group_causes(results) -> dict:

@@ -95,6 +95,9 @@ class ComparisonResult:
     machine_outcome: MachineOutcome | None = None
     detail: str = ""
     path: PathResult | None = None
+    #: Operand shape replayed from a journal/worker record when the
+    #: live ``path`` is gone; read via :meth:`operand_shape`.
+    _operand_shape: str | None = None
 
     @property
     def is_difference(self) -> bool:
@@ -114,19 +117,55 @@ class ComparisonResult:
     # ------------------------------------------------------------------
     # journal / worker-message serialization
 
+    def operand_shape(self) -> str:
+        """Coarse operand-type signature of the path (int vs float).
+
+        Survives serialization: computed from the live path when we
+        have one, replayed from the record otherwise (defect
+        classification keys optimisation differences on it)."""
+        if self.path is None:
+            return self._operand_shape or "unknown"
+        has_float = any(
+            str(c).startswith("is_float") for c in self.path.constraints
+        )
+        if has_float:
+            return "float"
+        has_int = any(
+            str(c).startswith("is_small_int") for c in self.path.constraints
+        )
+        if has_int:
+            return "int"
+        return "generic"
+
     def to_record(self) -> dict:
-        """The journaled verdict: everything the aggregate reports
-        need, nothing process-local (no live paths or outcomes)."""
+        """The journaled verdict: everything the aggregate reports —
+        including defect classification — need, nothing process-local
+        (no live paths, heaps or simulators).  The exit condition,
+        outcome kind and operand shape are exactly the facts
+        ``repro.difftest.defects.classify`` dispatches on; dropping
+        them would silently demote differences to *unclassified* after
+        a worker-pipe or journal round-trip."""
         return {
             "backend": self.backend,
             "status": self.status.value,
             "difference_kind": self.difference_kind,
             "detail": self.detail,
+            "interpreter_condition": (
+                None if self.interpreter_exit is None
+                else self.interpreter_exit.condition.value
+            ),
+            "outcome_kind": (
+                None if self.machine_outcome is None
+                else self.machine_outcome.kind.value
+            ),
+            "operand_shape": self.operand_shape(),
         }
 
     @classmethod
     def from_record(cls, record: dict, *, instruction: str, kind: str,
                     compiler: str) -> "ComparisonResult":
+        condition = record.get("interpreter_condition")
+        outcome_kind = record.get("outcome_kind")
         return cls(
             instruction=instruction,
             kind=kind,
@@ -135,6 +174,15 @@ class ComparisonResult:
             status=Status(record["status"]),
             difference_kind=record.get("difference_kind"),
             detail=record.get("detail", ""),
+            interpreter_exit=(
+                None if condition is None
+                else ExitResult(condition=ExitCondition(condition))
+            ),
+            machine_outcome=(
+                None if outcome_kind is None
+                else MachineOutcome(kind=OutcomeKind(outcome_kind))
+            ),
+            _operand_shape=record.get("operand_shape"),
         )
 
 

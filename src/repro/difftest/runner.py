@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from repro import perf
 from repro.bytecode.opcodes import testable_bytecodes
 from repro.concolic.explorer import (
     BytecodeInstructionSpec,
@@ -144,6 +145,10 @@ class CampaignConfig:
     #: Re-seed the historical R10/R11 fault-describer defect (paper
     #: fidelity benchmarks and fault-injection tests only).
     fault_describer_gaps: tuple = ()
+    #: Collect cache/solver instrumentation (``campaign --profile``).
+    #: Profiling observes counters and wall-clock only; reports stay
+    #: byte-identical with it on or off.
+    profile: bool = False
 
     def reduced(self) -> "CampaignConfig":
         """The smaller-budget config used for the quarantine retry."""
@@ -207,6 +212,9 @@ def test_instruction(
                 for model in boundary_models(path, tester.context):
                     result.comparisons.append(tester.run_path(path, model))
     result.test_seconds = time.perf_counter() - start
+    perf.observe("test", result.test_seconds)
+    perf.incr("test.cells")
+    perf.incr("test.comparisons", len(result.comparisons))
     return result
 
 
@@ -301,6 +309,8 @@ class CampaignResult(list):
         #: Exploration-cache effectiveness over the whole run.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Perf snapshot dict when the run was profiled, else None.
+        self.perf = None
 
 
 @dataclass
@@ -528,15 +538,34 @@ def _run_rows(config: CampaignConfig, rows: list[ExperimentRow], *,
               journal_path, resume: bool, jobs: int) -> CampaignResult:
     """Dispatch a canonical plan to the sequential or parallel engine."""
     if jobs is None or jobs == 1:
-        ctx = _CampaignContext(config, journal_path, resume)
-        result = CampaignResult()
-        for row in rows:
-            result.append(_run_experiment(ctx, row))
-        return _finish(result, ctx, journal_path)
+        if config.profile:
+            perf.enable()
+        try:
+            ctx = _CampaignContext(config, journal_path, resume)
+            result = CampaignResult()
+            for row in rows:
+                result.append(_run_experiment(ctx, row))
+            result = _finish(result, ctx, journal_path)
+            if config.profile:
+                result.perf = _capture_perf(result)
+            return result
+        finally:
+            if config.profile:
+                perf.disable()
     from repro.parallel.pool import run_parallel_rows
 
     return run_parallel_rows(config, rows, jobs=jobs,
                              journal_path=journal_path, resume=resume)
+
+
+def _capture_perf(result: CampaignResult) -> dict:
+    """Fold run-wide cache accounting into the recorder and snapshot it."""
+    from repro.concolic.solver.incremental import record_solver_gauges
+
+    perf.incr("explore.cache_hits", result.cache_hits)
+    perf.incr("explore.cache_misses", result.cache_misses)
+    record_solver_gauges()
+    return perf.snapshot()
 
 
 def run_campaign(config: CampaignConfig | None = None, *,

@@ -65,6 +65,7 @@ class _Running:
     failure: tuple | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    perf: dict | None = None
 
 
 def _handle_message(running: _Running, message, records: dict) -> None:
@@ -80,6 +81,8 @@ def _handle_message(running: _Running, message, records: dict) -> None:
     elif tag == "done":
         running.done = True
         running.cache_hits, running.cache_misses = message[1], message[2]
+        if len(message) > 3:
+            running.perf = message[3]
 
 
 def _drain(running: _Running, records: dict) -> None:
@@ -160,6 +163,7 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
     budget_exhausted = False
     failure = None
     cache_hits = cache_misses = 0
+    perf_snapshots: list = []
 
     try:
         while pending or running:
@@ -196,6 +200,8 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
                 entry.conn.close()
                 cache_hits += entry.cache_hits
                 cache_misses += entry.cache_misses
+                if entry.perf is not None:
+                    perf_snapshots.append(entry.perf)
                 if entry.failure is not None:
                     failure = entry.failure
                 elif entry.budget is not None:
@@ -224,4 +230,8 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
     result.workers = jobs
     result.cache_hits = cache_hits
     result.cache_misses = cache_misses
+    if getattr(config, "profile", False):
+        from repro.perf import merge_snapshots
+
+        result.perf = merge_snapshots(perf_snapshots)
     return result

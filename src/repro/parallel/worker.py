@@ -22,11 +22,14 @@ Wire protocol (worker -> parent), all plain picklable data:
   the shard's remaining cells were not run;
 * ``("fail", error_class, message)`` — ``fail_fast`` is set and a cell
   crashed; the parent re-raises;
-* ``("done", cache_hits, cache_misses)`` — the shard completed.
+* ``("done", cache_hits, cache_misses[, perf_snapshot])`` — the shard
+  completed; the trailing perf snapshot dict is present only when the
+  campaign runs with ``profile`` set (parents accept both shapes).
 """
 
 from __future__ import annotations
 
+from repro import perf
 from repro.concolic.explorer import ExplorationCache
 from repro.difftest.runner import (
     _crashed_result,
@@ -62,6 +65,8 @@ def run_shard(conn, plan: str, config, shard, remaining_seconds,
     rows = resolve_rows(plan, config)
     deadline = Deadline(remaining_seconds)
     journal = CampaignJournal(journal_path) if journal_path else None
+    if getattr(config, "profile", False):
+        perf.enable()
     # One cache per shard = one exploration per instruction, shared by
     # every compiler cell of the shard (the shard planner guarantees a
     # shard never spans instructions).
@@ -96,6 +101,14 @@ def run_shard(conn, plan: str, config, shard, remaining_seconds,
             if journal is not None:
                 journal.append(record)
             conn.send(("cell", cell.key, record))
-        conn.send(("done", cache.hits, cache.misses))
+        if perf.enabled():
+            from repro.concolic.solver.incremental import record_solver_gauges
+
+            perf.incr("explore.cache_hits", cache.hits)
+            perf.incr("explore.cache_misses", cache.misses)
+            record_solver_gauges()
+            conn.send(("done", cache.hits, cache.misses, perf.snapshot()))
+        else:
+            conn.send(("done", cache.hits, cache.misses))
     finally:
         conn.close()

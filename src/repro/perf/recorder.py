@@ -1,0 +1,138 @@
+"""The process-global performance recorder.
+
+One recorder is active per process at most (``enable()``/``disable()``);
+hot-path hooks are module-level functions that no-op when profiling is
+off.  Parallel workers each enable their own recorder after fork and
+ship :func:`snapshot` dicts back over the result pipe;
+:func:`merge_snapshots` folds them into one campaign-wide view.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+
+class PerfRecorder:
+    """Counters, per-stage wall-clock timers, and point-in-time gauges."""
+
+    __slots__ = ("counters", "timers", "timer_calls", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+        self.timers: dict = {}
+        self.timer_calls: Counter = Counter()
+        self.gauges: dict = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def observe(self, stage: str, seconds: float) -> None:
+        self.timers[stage] = self.timers.get(stage, 0.0) + seconds
+        self.timer_calls[stage] += 1
+
+    def gauge(self, name: str, value) -> None:
+        self.gauges[name] = value
+
+    def snapshot(self) -> dict:
+        """A plain JSON-serializable copy of everything recorded."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "timer_calls": dict(self.timer_calls),
+            "gauges": dict(self.gauges),
+        }
+
+
+_ACTIVE: PerfRecorder | None = None
+
+
+def enable() -> PerfRecorder:
+    """Install a fresh recorder as the process-global one."""
+    global _ACTIVE
+    _ACTIVE = PerfRecorder()
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> PerfRecorder | None:
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def incr(name: str, amount: int = 1) -> None:
+    rec = _ACTIVE
+    if rec is not None:
+        rec.counters[name] += amount
+
+
+def observe(stage: str, seconds: float) -> None:
+    rec = _ACTIVE
+    if rec is not None:
+        rec.observe(stage, seconds)
+
+
+def gauge(name: str, value) -> None:
+    rec = _ACTIVE
+    if rec is not None:
+        rec.gauges[name] = value
+
+
+@contextmanager
+def timer(stage: str) -> Iterator[None]:
+    """Time a block; free when profiling is off."""
+    rec = _ACTIVE
+    if rec is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        rec.observe(stage, time.perf_counter() - start)
+
+
+def snapshot() -> dict | None:
+    """Snapshot the active recorder, or ``None`` when profiling is off."""
+    rec = _ACTIVE
+    if rec is None:
+        return None
+    return rec.snapshot()
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold worker snapshots: counters/timers sum, gauges take the max.
+
+    Gauges are point-in-time sizes (intern table, memo table); summing
+    them across processes would double-count shared structure, so the
+    largest observed value is reported instead.
+    """
+    counters: Counter = Counter()
+    timers: dict = {}
+    timer_calls: Counter = Counter()
+    gauges: dict = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        counters.update(snap.get("counters", {}))
+        for stage, seconds in snap.get("timers", {}).items():
+            timers[stage] = timers.get(stage, 0.0) + seconds
+        timer_calls.update(snap.get("timer_calls", {}))
+        for name, value in snap.get("gauges", {}).items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+    return {
+        "counters": dict(counters),
+        "timers": timers,
+        "timer_calls": dict(timer_calls),
+        "gauges": gauges,
+    }

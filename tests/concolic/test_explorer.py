@@ -164,3 +164,27 @@ class TestNativeMethods:
         assert [p.signature for p in first.paths] == [
             p.signature for p in second.paths
         ]
+
+
+class TestExplorationCache:
+    """Hit/miss accounting must not change with solver-level caching:
+    the exploration cache counts per-(kind, name) lookups, nothing
+    else, exactly as in the pre-incremental engine."""
+
+    def test_accounting(self):
+        from repro.concolic.explorer import ExplorationCache, NativeMethodSpec
+
+        cache = ExplorationCache()
+        spec = NativeMethodSpec(primitive_named("primitiveAdd"))
+        assert cache.get(spec) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+        exploration = explore_native_method(primitive_named("primitiveAdd"))
+        cache.put(spec, exploration)
+        assert cache.get(spec) is exploration
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+        other = NativeMethodSpec(primitive_named("primitiveMod"))
+        assert cache.get(other) is None
+        assert (cache.hits, cache.misses) == (1, 2)

@@ -102,3 +102,58 @@ class TestEvaluation:
     def test_quo_truncates_toward_zero(self):
         term = int_binary("quo", -7, 2)
         assert evaluate(term, make_env({})) == -3
+
+
+class TestInterning:
+    """Hash-consing: structurally equal terms are the same object."""
+
+    def test_structural_equality_implies_identity(self):
+        first = int_binary("add", var("x", Sort.INT), 3)
+        second = int_binary("add", var("x", Sort.INT), 3)
+        assert first is second
+
+    def test_distinct_terms_are_distinct_objects(self):
+        assert var("x", Sort.INT) is not var("y", Sort.INT)
+        assert var("x", Sort.INT) is not var("x", Sort.OOP)
+
+    def test_nested_sharing(self):
+        inner = oop_attribute("int_value_of", var("v", Sort.OOP))
+        first = compare("lt", inner, 5)
+        second = compare("lt", oop_attribute("int_value_of", var("v", Sort.OOP)), 5)
+        assert first is second
+        assert first.args[0] is inner
+
+    def test_hash_is_stable_and_structural(self):
+        term = compare("eq", var("x", Sort.INT), 0)
+        again = compare("eq", var("x", Sort.INT), 0)
+        assert hash(term) == hash(again)
+        # Interned terms work as dict keys across reconstructions.
+        table = {term: "hit"}
+        assert table[again] == "hit"
+
+    def test_equality_survives_interning(self):
+        term = not_(kind_predicate("is_nil", var("v", Sort.OOP)))
+        assert term == not_(kind_predicate("is_nil", var("v", Sort.OOP)))
+        assert term != kind_predicate("is_nil", var("v", Sort.OOP))
+
+    def test_intern_stats_count_hits(self):
+        from repro.concolic.terms import intern_stats, intern_table_size
+
+        var("fresh_interning_probe", Sort.INT)  # ensure the key exists
+        size_before = intern_table_size()
+        hits_before, misses_before = intern_stats()
+        var("fresh_interning_probe", Sort.INT)
+        hits_after, misses_after = intern_stats()
+        assert hits_after == hits_before + 1
+        assert misses_after == misses_before
+        assert intern_table_size() == size_before
+
+    def test_pickle_round_trip_stays_structural(self):
+        import pickle
+
+        term = compare("le", oop_attribute("int_value_of", var("v", Sort.OOP)), 9)
+        clone = pickle.loads(pickle.dumps(term))
+        # Unpickled terms bypass the intern table but still compare and
+        # hash structurally.
+        assert clone == term
+        assert hash(clone) == hash(term)

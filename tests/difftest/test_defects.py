@@ -197,3 +197,49 @@ class TestGrouping:
         result = comparison("native", None)
         result.status = Status.MATCH
         assert group_causes([result]) == {}
+
+
+class TestRecordRoundTrip:
+    """Classification must survive the journal / worker-pipe format."""
+
+    def _difference(self):
+        return ComparisonResult(
+            instruction="bytecodePrimAdd",
+            kind="bytecode",
+            compiler="StackToRegisterCogit",
+            backend="x86",
+            status=Status.DIFFERENCE,
+            difference_kind="exit_mismatch",
+            interpreter_exit=ExitResult.success(),
+            machine_outcome=MachineOutcome(
+                kind=OutcomeKind.TRAMPOLINE, trampoline="ceSend"
+            ),
+            detail="interp success vs trampoline",
+        )
+
+    def test_classify_equal_after_round_trip(self):
+        original = self._difference()
+        replayed = ComparisonResult.from_record(
+            original.to_record(),
+            instruction=original.instruction,
+            kind=original.kind,
+            compiler=original.compiler,
+        )
+        assert classify(replayed) == classify(original)
+
+    def test_pre_existing_records_without_exit_fields_still_load(self):
+        """Journals written before the exit fields existed must replay."""
+        legacy = {
+            "backend": "x86",
+            "status": "difference",
+            "difference_kind": "exit_mismatch",
+            "detail": "old journal line",
+        }
+        replayed = ComparisonResult.from_record(
+            legacy, instruction="bytecodePrimAdd", kind="bytecode",
+            compiler="StackToRegisterCogit",
+        )
+        assert replayed.is_difference
+        assert replayed.interpreter_exit is None
+        assert replayed.machine_outcome is None
+        assert replayed.operand_shape() == "unknown"
