@@ -5,12 +5,14 @@ Subcommands mirror the library's main entry points:
 * ``explore <instruction>`` — concolic path exploration (Fig. 1 step 1);
 * ``test <instruction> [--compiler C] [--backend B]`` — differential
   test of every curated path (steps 2-4);
-* ``campaign [--max-bytecodes N] [--max-natives N] [-j N] [--deadline S]
-  [--journal PATH] [--resume] [--fail-fast] [--profile]
+* ``campaign [--max-bytecodes N] [--max-natives N] [--only NAME] [-j N]
+  [--deadline S] [--journal PATH] [--resume] [--fail-fast]
+  [--triage] [--confirm-runs N] [--repro-dir DIR] [--profile]
   [--profile-json PATH]`` — the full Table 2/3 evaluation, with
-  parallel sharding, wall-clock budgeting, checkpoint/resume and
-  cache/solver profiling (operator guide: docs/CAMPAIGN.md,
-  docs/PERFORMANCE.md);
+  parallel sharding, wall-clock budgeting, checkpoint/resume,
+  cache/solver profiling, and defect triage with standalone
+  reproducer emission (operator guides: docs/CAMPAIGN.md,
+  docs/PERFORMANCE.md, docs/TRIAGE.md);
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
@@ -107,22 +109,36 @@ def cmd_test(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    from repro.difftest.report import format_quarantine
+    from repro.difftest.report import format_quarantine, format_retries
 
     profile = bool(args.profile or args.profile_json)
+    gaps = tuple(
+        part for chunk in (args.fault_describer_gaps or "").split(",")
+        for part in (chunk.strip(),) if part
+    )
     config = CampaignConfig(
         max_bytecodes=args.max_bytecodes,
         max_natives=args.max_natives,
+        only=tuple(args.only or ()),
         backends=tuple(BACKENDS[b] for b in args.backend),
         max_sim_steps=args.max_sim_steps,
         deadline_seconds=args.deadline,
         fail_fast=args.fail_fast,
+        fault_describer_gaps=gaps,
         profile=profile,
     )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
+    triage = None
+    if args.triage:
+        from repro.triage import TriageConfig
+
+        triage = TriageConfig(
+            confirm_runs=args.confirm_runs,
+            repro_dir=args.repro_dir,
+        )
     run_kwargs = dict(journal_path=args.journal, resume=args.resume,
-                      jobs=args.jobs)
+                      jobs=args.jobs, triage=triage)
     if args.sequences:
         from repro.difftest.runner import run_sequence_campaign
 
@@ -137,6 +153,15 @@ def cmd_campaign(args) -> int:
     if quarantine_section:
         print()
         print(quarantine_section)
+    retry_section = format_retries(reports)
+    if retry_section:
+        print()
+        print(retry_section)
+    if reports.triage is not None:
+        from repro.triage import format_causes
+
+        print()
+        print(format_causes(reports.triage))
     if profile and reports.perf is not None:
         from repro.perf.report import format_profile
 
@@ -156,6 +181,11 @@ def cmd_campaign(args) -> int:
         )
     if reports.resumed_cells:
         print(f"\nresumed {reports.resumed_cells} cells from {args.journal}")
+    if reports.triage is not None and reports.triage.reused_causes:
+        print(
+            f"\nreplayed {reports.triage.reused_causes} triaged cause "
+            f"bucket(s) from {args.journal} (not re-shrunk)"
+        )
     if reports.budget_exhausted:
         where = args.journal or "a journal (use --journal)"
         print(f"\ncampaign deadline expired; resume with --resume via {where}")
@@ -263,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser("campaign", help="the full Table 2/3 evaluation")
     campaign.add_argument("--max-bytecodes", type=int)
     campaign.add_argument("--max-natives", type=int)
+    campaign.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="restrict the campaign to this instruction (repeatable); "
+             "applied after --max-bytecodes/--max-natives slicing",
+    )
     campaign.add_argument("--backend", action="append", choices=sorted(BACKENDS))
     campaign.add_argument(
         "--sequences", action="store_true",
@@ -292,6 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--fail-fast", action="store_true",
         help="re-raise the first cell crash instead of quarantining",
+    )
+    campaign.add_argument(
+        "--triage", action="store_true",
+        help="confirm, shrink and dedup every divergence/crash into "
+             "cause buckets and emit standalone reproducers "
+             "(see docs/TRIAGE.md)",
+    )
+    campaign.add_argument(
+        "--confirm-runs", type=int, default=3, metavar="N",
+        help="fresh re-executions per cause bucket during --triage "
+             "confirmation (default: 3)",
+    )
+    campaign.add_argument(
+        "--repro-dir", default="repros", metavar="DIR",
+        help="directory for standalone reproducers emitted by --triage "
+             "(default: repros)",
+    )
+    campaign.add_argument(
+        "--fault-describer-gaps", metavar="REGS",
+        help="re-seed the historical fault-describer defect for these "
+             "comma-separated registers (e.g. R10,R11); for fidelity "
+             "benchmarks and triage smoke tests",
     )
     campaign.add_argument(
         "--profile", action="store_true",

@@ -18,6 +18,7 @@ In this reproduction the curation rules are mechanical:
 
 from __future__ import annotations
 
+from repro import perf
 from repro.concolic.explorer import PathResult
 from repro.interpreter.exits import ExitCondition
 
@@ -35,5 +36,15 @@ def is_curated_in(path: PathResult) -> bool:
 
 
 def curate_paths(paths) -> list[PathResult]:
-    """Filter to the paths the prototype supports."""
-    return [path for path in paths if is_curated_in(path)]
+    """Filter to the paths the prototype supports.
+
+    Dropped paths are coverage silently lost to prototype limitations;
+    the ``curation_dropped`` perf counter makes that loss observable in
+    ``campaign --profile`` output instead of disappearing without trace.
+    """
+    paths = list(paths)
+    curated = [path for path in paths if is_curated_in(path)]
+    dropped = len(paths) - len(curated)
+    if dropped:
+        perf.incr("curation_dropped", dropped)
+    return curated

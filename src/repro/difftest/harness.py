@@ -98,6 +98,9 @@ class ComparisonResult:
     #: Operand shape replayed from a journal/worker record when the
     #: live ``path`` is gone; read via :meth:`operand_shape`.
     _operand_shape: str | None = None
+    #: Path-constraint signature replayed from a record when the live
+    #: ``path`` is gone; read via :meth:`path_signature`.
+    _path_signature: tuple | None = None
 
     @property
     def is_difference(self) -> bool:
@@ -137,6 +140,20 @@ class ComparisonResult:
             return "int"
         return "generic"
 
+    def path_signature(self) -> tuple:
+        """The path's constraint-key signature: ``((term, taken), ...)``.
+
+        Matches :attr:`repro.concolic.explorer.PathResult.signature`, so
+        a triage pass in another process (or a later ``--resume`` run)
+        can re-explore the instruction and locate this exact path again.
+        Empty when neither a live path nor a replayed record carries one.
+        """
+        if self.path is not None:
+            return tuple(
+                (str(c.term), bool(c.taken)) for c in self.path.constraints
+            )
+        return self._path_signature or ()
+
     def to_record(self) -> dict:
         """The journaled verdict: everything the aggregate reports —
         including defect classification — need, nothing process-local
@@ -144,7 +161,9 @@ class ComparisonResult:
         outcome kind and operand shape are exactly the facts
         ``repro.difftest.defects.classify`` dispatches on; dropping
         them would silently demote differences to *unclassified* after
-        a worker-pipe or journal round-trip."""
+        a worker-pipe or journal round-trip.  The path signature is the
+        triage candidate payload: it lets the parent process relocate
+        the failing path without shipping live heaps over the pipe."""
         return {
             "backend": self.backend,
             "status": self.status.value,
@@ -159,6 +178,9 @@ class ComparisonResult:
                 else self.machine_outcome.kind.value
             ),
             "operand_shape": self.operand_shape(),
+            "path_signature": [
+                [term, taken] for term, taken in self.path_signature()
+            ],
         }
 
     @classmethod
@@ -183,6 +205,10 @@ class ComparisonResult:
                 else MachineOutcome(kind=OutcomeKind(outcome_kind))
             ),
             _operand_shape=record.get("operand_shape"),
+            _path_signature=tuple(
+                (term, bool(taken))
+                for term, taken in record.get("path_signature") or ()
+            ) or None,
         )
 
 

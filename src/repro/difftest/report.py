@@ -183,6 +183,42 @@ def format_distributions(title: str, distributions: dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# retry summary (robustness extension)
+
+
+def retried_cells(reports) -> list[tuple]:
+    """``(instruction, compiler, retries)`` for every retried cell.
+
+    Retries come from the robustness layer's reduced-budget re-attempt;
+    a retried-but-succeeded cell is easy to miss in aggregate counts,
+    yet it is exactly where flaky triage confirmations come from —
+    operators cross-check these numbers against the Causes section's
+    ``flaky(k_of_n)`` labels (see docs/TRIAGE.md).
+    """
+    rows = []
+    for report in reports:
+        for result in report.results:
+            retries = getattr(result, "retries", 0)
+            if retries:
+                rows.append((result.instruction, result.compiler, retries))
+    return rows
+
+
+def format_retries(reports) -> str:
+    """Per-cell retry section; empty string when nothing was retried."""
+    rows = retried_cells(reports)
+    if not rows:
+        return ""
+    total = sum(retries for _instr, _compiler, retries in rows)
+    lines = [
+        f"Retried cells: {len(rows)} ({total} reduced-budget retries)"
+    ]
+    for instruction, compiler, retries in rows:
+        lines.append(f"  {instruction} [{compiler}] retries={retries}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # quarantine report (robustness extension)
 
 

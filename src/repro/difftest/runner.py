@@ -79,6 +79,10 @@ class InstructionTestResult:
     curated_path_count: int = 0
     comparisons: list = field(default_factory=list)
     test_seconds: float = 0.0
+    #: Reduced-budget retries the robustness layer spent on this cell
+    #: (0 = clean first attempt); surfaced in the report summary so
+    #: operators can cross-check flaky-confirmation counts.
+    retries: int = 0
 
     @property
     def differing_paths(self) -> int:
@@ -127,6 +131,11 @@ class CampaignConfig:
     #: Limit instruction counts (None = all); used by tests/benchmarks.
     max_bytecodes: int | None = None
     max_natives: int | None = None
+    #: Restrict the plan to these instruction names (empty = no filter).
+    #: Applied after ``max_bytecodes``/``max_natives`` slicing; used to
+    #: scope seeded-defect campaigns (CI triage smoke, acceptance runs)
+    #: to the instructions that actually exhibit the defect.
+    only: tuple = ()
     backends: tuple = BACKENDS
     max_paths_per_instruction: int = 64
     max_iterations: int = 200
@@ -218,18 +227,30 @@ def test_instruction(
     return result
 
 
+def _scope_specs(specs: list, config: CampaignConfig) -> list:
+    """Apply the ``only`` instruction-name filter, preserving order."""
+    if not config.only:
+        return specs
+    wanted = set(config.only)
+    return [spec for spec in specs if spec.name in wanted]
+
+
 def bytecode_specs(config: CampaignConfig) -> list:
     bytecodes = testable_bytecodes()
     if config.max_bytecodes is not None:
         bytecodes = bytecodes[: config.max_bytecodes]
-    return [BytecodeInstructionSpec(bytecode) for bytecode in bytecodes]
+    return _scope_specs(
+        [BytecodeInstructionSpec(bytecode) for bytecode in bytecodes], config
+    )
 
 
 def native_specs(config: CampaignConfig) -> list:
     natives = testable_primitives()
     if config.max_natives is not None:
         natives = natives[: config.max_natives]
-    return [NativeMethodSpec(native) for native in natives]
+    return _scope_specs(
+        [NativeMethodSpec(native) for native in natives], config
+    )
 
 
 # ======================================================================
@@ -277,7 +298,9 @@ def sequence_campaign_rows(config: CampaignConfig) -> list[ExperimentRow]:
         interesting_sequences,
     )
 
-    specs = tuple(interesting_sequences() + generate_pair_sequences())
+    specs = tuple(_scope_specs(
+        interesting_sequences() + generate_pair_sequences(), config
+    ))
     return [
         ExperimentRow("sequences", f"{compiler_class.name} (sequences)",
                       compiler_class, specs)
@@ -311,6 +334,9 @@ class CampaignResult(list):
         self.cache_misses = 0
         #: Perf snapshot dict when the run was profiled, else None.
         self.perf = None
+        #: :class:`repro.triage.TriageReport` when the run was triaged
+        #: (``campaign --triage``), else None.
+        self.triage = None
 
 
 @dataclass
@@ -336,6 +362,7 @@ class ResumedCellResult:
     comparisons: list
     test_seconds: float
     differing_path_count: int
+    retries: int = 0
 
     @property
     def differing_paths(self) -> int:
@@ -394,9 +421,11 @@ def execute_cell(config: CampaignConfig, deadline, spec, compiler_class,
                     # Only full-budget explorations enter the shared
                     # cache; retries keep their reduced paths private.
                     explorations.put(spec, exploration)
-            return test_instruction(
+            result = test_instruction(
                 spec, compiler_class, cfg, exploration, deadline
-            ), None
+            )
+            result.retries = attempt
+            return result, None
         except BudgetExhausted as exc:
             if exc.scope == "campaign":
                 raise
@@ -418,6 +447,7 @@ def _crashed_result(spec, compiler_class, config,
         kind=spec.kind,
         compiler=compiler_class.name,
         exploration=ExplorationResult(spec.name, spec.kind),
+        retries=1,  # the reduced-budget retry ran and also failed
     )
     result.comparisons.append(
         ComparisonResult(
@@ -443,6 +473,7 @@ def _serialize_cell(key: str, result, quarantine_entry=None) -> dict:
         "curated_paths": result.curated_path_count,
         "differing_paths": result.differing_paths,
         "test_seconds": result.test_seconds,
+        "retries": getattr(result, "retries", 0),
         "comparisons": [
             comparison.to_record() for comparison in result.comparisons
         ],
@@ -475,6 +506,7 @@ def _rebuild_cell(record: dict) -> ResumedCellResult:
         comparisons=comparisons,
         test_seconds=record.get("test_seconds", 0.0),
         differing_path_count=record["differing_paths"],
+        retries=record.get("retries", 0),
     )
 
 
@@ -535,7 +567,8 @@ def _finish(result: CampaignResult, ctx: _CampaignContext,
 
 
 def _run_rows(config: CampaignConfig, rows: list[ExperimentRow], *,
-              journal_path, resume: bool, jobs: int) -> CampaignResult:
+              journal_path, resume: bool, jobs: int,
+              triage=None) -> CampaignResult:
     """Dispatch a canonical plan to the sequential or parallel engine."""
     if jobs is None or jobs == 1:
         if config.profile:
@@ -548,14 +581,24 @@ def _run_rows(config: CampaignConfig, rows: list[ExperimentRow], *,
             result = _finish(result, ctx, journal_path)
             if config.profile:
                 result.perf = _capture_perf(result)
-            return result
         finally:
             if config.profile:
                 perf.disable()
-    from repro.parallel.pool import run_parallel_rows
+    else:
+        from repro.parallel.pool import run_parallel_rows
 
-    return run_parallel_rows(config, rows, jobs=jobs,
-                             journal_path=journal_path, resume=resume)
+        result = run_parallel_rows(config, rows, jobs=jobs,
+                                   journal_path=journal_path, resume=resume)
+    if triage is not None:
+        # Triage always runs in the parent process, over the serialized
+        # cell records both engines produce, so confirmation/shrinking
+        # are engine-independent and byte-identical across -j values.
+        from repro.triage import run_triage
+
+        result.triage = run_triage(
+            result, config, triage, journal_path=journal_path, resume=resume
+        )
+    return result
 
 
 def _capture_perf(result: CampaignResult) -> dict:
@@ -570,7 +613,7 @@ def _capture_perf(result: CampaignResult) -> dict:
 
 def run_campaign(config: CampaignConfig | None = None, *,
                  journal_path=None, resume: bool = False,
-                 jobs: int = 1) -> CampaignResult:
+                 jobs: int = 1, triage=None) -> CampaignResult:
     """The full four-experiment evaluation (paper Table 2).
 
     Returns one report per compiler: native methods first, then the
@@ -579,16 +622,20 @@ def run_campaign(config: CampaignConfig | None = None, *,
     ``resume=True`` replays them instead of re-running.  ``jobs > 1``
     shards the cell grid across that many worker processes
     (``jobs=0`` = one per CPU); aggregate reports are byte-identical
-    to a sequential run of the same config.
+    to a sequential run of the same config.  ``triage`` takes a
+    :class:`repro.triage.TriageConfig` to confirm/shrink/dedup the
+    run's divergences and emit standalone reproducers
+    (``result.triage`` carries the :class:`~repro.triage.TriageReport`).
     """
     config = config or CampaignConfig()
     return _run_rows(config, campaign_rows(config),
-                     journal_path=journal_path, resume=resume, jobs=jobs)
+                     journal_path=journal_path, resume=resume, jobs=jobs,
+                     triage=triage)
 
 
 def run_sequence_campaign(
     config: CampaignConfig | None = None, *,
-    journal_path=None, resume: bool = False, jobs: int = 1,
+    journal_path=None, resume: bool = False, jobs: int = 1, triage=None,
 ) -> CampaignResult:
     """Extension experiment: the byte-code *sequence* corpus.
 
@@ -598,7 +645,8 @@ def run_sequence_campaign(
     """
     config = config or CampaignConfig()
     return _run_rows(config, sequence_campaign_rows(config),
-                     journal_path=journal_path, resume=resume, jobs=jobs)
+                     journal_path=journal_path, resume=resume, jobs=jobs,
+                     triage=triage)
 
 
 def _accumulate(report: CompilerReport, result: InstructionTestResult) -> None:

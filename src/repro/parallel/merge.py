@@ -7,6 +7,11 @@ accumulation the sequential engine uses.  Aggregate counts, report row
 ordering and the quarantine section are therefore byte-identical
 between ``-j 1`` and ``-j N`` (asserted by
 ``tests/parallel/test_determinism.py``).
+
+Rebuilt cells preserve the full serialized payload — including the
+per-cell retry counts and the triage candidate data (path signatures,
+exit pairs) that ``--triage`` consumes after the merge — so triage
+over a parallel run sees exactly what a sequential run produces.
 """
 
 from __future__ import annotations

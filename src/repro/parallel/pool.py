@@ -26,6 +26,12 @@ Failure semantics, composing with the PR-2 robustness layer:
   writers); the parent journals only the ``WorkerCrash`` cells it
   synthesizes.  ``--resume`` therefore works on a journal written by
   any mix of parallel and sequential runs.
+* **Triage**: the pool never triages.  ``--triage`` confirmation,
+  shrinking and reproducer emission all run in the parent after the
+  merge, over the same serialized cell records the workers shipped
+  (:mod:`repro.triage`).  Journaled triage state rides in the same
+  file under ``triage::`` keys; the planned-key filter below keeps
+  those records invisible to cell resume.
 """
 
 from __future__ import annotations

@@ -17,7 +17,13 @@ parent crash loses nothing a worker finished.
 
 Wire protocol (worker -> parent), all plain picklable data:
 
-* ``("cell", key, record)`` — one completed (or quarantined) cell;
+* ``("cell", key, record)`` — one completed (or quarantined) cell.
+  Since PR 5 the record's comparison entries also carry the triage
+  candidate payload (path constraint signatures, exit pairs, operand
+  shapes, retry counts) — workers never confirm or shrink; the parent
+  runs the whole ``--triage`` pipeline over these serialized records
+  (:mod:`repro.triage`), which is what keeps triage output identical
+  across ``-j`` values;
 * ``("budget", message)`` — the campaign deadline expired in-worker;
   the shard's remaining cells were not run;
 * ``("fail", error_class, message)`` — ``fail_fast`` is set and a cell

@@ -36,6 +36,27 @@ def cell_key(experiment: str, compiler: str, kind: str, instruction: str) -> str
     return f"{experiment}::{compiler}::{kind}::{instruction}"
 
 
+#: Journal-key namespace for triage cause records.  Triage shares the
+#: campaign journal: cause records ride alongside cell records (same
+#: versioning, checksumming, last-wins semantics) but live under this
+#: prefix so cell replay and triage replay never collide.
+TRIAGE_KEY_PREFIX = "triage::"
+
+
+def triage_key(digest: str) -> str:
+    """Stable identity of one triaged cause bucket across runs."""
+    return f"{TRIAGE_KEY_PREFIX}{digest}"
+
+
+def triage_records(completed: dict) -> dict:
+    """The triage sub-map of a loaded journal: digest -> record."""
+    return {
+        key[len(TRIAGE_KEY_PREFIX):]: record
+        for key, record in completed.items()
+        if key.startswith(TRIAGE_KEY_PREFIX)
+    }
+
+
 def _checksum(payload: str) -> int:
     return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
 

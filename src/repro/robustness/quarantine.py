@@ -9,7 +9,7 @@ enough to reproduce and triage without rerunning the campaign.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.robustness.errors import CampaignError
 
@@ -27,6 +27,11 @@ class QuarantineEntry:
     message: str
     traceback: str = ""
     attempts: int = 2
+    #: Fields from journal records written by newer code, preserved
+    #: verbatim so ``to_dict``/``from_dict`` round-trips them instead of
+    #: crashing or dropping them (forward compatibility; mirrors the
+    #: additive-field policy of ComparisonResult records).
+    extra: dict = field(default_factory=dict)
 
     @classmethod
     def from_error(cls, error: CampaignError, *, instruction: str, kind: str,
@@ -52,7 +57,8 @@ class QuarantineEntry:
         )
 
     def to_dict(self) -> dict:
-        return {
+        data = dict(self.extra)
+        data.update({
             "instruction": self.instruction,
             "kind": self.kind,
             "compiler": self.compiler,
@@ -62,11 +68,15 @@ class QuarantineEntry:
             "message": self.message,
             "traceback": self.traceback,
             "attempts": self.attempts,
-        }
+        })
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "QuarantineEntry":
-        return cls(**data)
+        known = {f.name for f in fields(cls)} - {"extra"}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        extra = {key: value for key, value in data.items() if key not in known}
+        return cls(**kwargs, extra=extra)
 
 
 @dataclass

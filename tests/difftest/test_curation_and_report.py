@@ -10,14 +10,17 @@ from repro.concolic.explorer import (
     ExplorationResult,
     explore_bytecode,
 )
+from repro import perf
 from repro.difftest.curation import curate_paths, is_curated_in
 from repro.difftest.report import (
     Distribution,
     exploration_times,
     format_distributions,
+    format_retries,
     format_table2,
     format_table3,
     paths_per_instruction,
+    retried_cells,
     table2,
     table3,
 )
@@ -46,6 +49,30 @@ class TestCuration:
         object.__setattr__(path, "exit",
                            ExitResult.message_send("selector@0x123", 0))
         assert not is_curated_in(path)
+
+    def test_dropped_paths_are_counted_not_silent(self):
+        """Curation discards paths by design, but the discard must be
+        observable: the `curation_dropped` perf counter records it."""
+        result = explore_bytecode(bytecode_named("bytecodePrimAdd"))
+        result.paths[1].model.int_values["stack_size"] = 0
+        perf.enable()
+        try:
+            curated = curate_paths(result.paths)
+            snap = perf.snapshot()
+        finally:
+            perf.disable()
+        assert len(curated) == len(result.paths) - 1
+        assert snap["counters"]["curation_dropped"] == 1
+
+    def test_nothing_dropped_counts_nothing(self):
+        result = explore_bytecode(bytecode_named("bytecodePrimAdd"))
+        perf.enable()
+        try:
+            curate_paths(result.paths)
+            snap = perf.snapshot()
+        finally:
+            perf.disable()
+        assert "curation_dropped" not in snap["counters"]
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +141,47 @@ class TestDistribution:
         text = format_distributions("T", {"a": Distribution("a", [1.0])})
         assert text.startswith("T")
         assert "n=   1" in text
+
+
+class TestRetrySection:
+    @staticmethod
+    def fake_reports(*cells):
+        from types import SimpleNamespace
+
+        return [SimpleNamespace(results=[
+            SimpleNamespace(instruction=instr, compiler=comp, retries=retries)
+            for instr, comp, retries in cells
+        ])]
+
+    def test_no_retries_renders_empty(self, small_campaign):
+        # The clean scoped campaign retried nothing: section is silent.
+        assert retried_cells(small_campaign) == []
+        assert format_retries(small_campaign) == ""
+
+    def test_retried_cells_are_listed(self):
+        reports = self.fake_reports(
+            ("primitiveAdd", "native", 0),
+            ("primitiveMod", "native", 1),
+            ("pushTrue", "SimpleStackBasedCogit", 2),
+        )
+        assert retried_cells(reports) == [
+            ("primitiveMod", "native", 1),
+            ("pushTrue", "SimpleStackBasedCogit", 2),
+        ]
+        text = format_retries(reports)
+        assert "Retried cells: 2 (3 reduced-budget retries)" in text
+        assert "primitiveMod [native] retries=1" in text
+        assert "pushTrue [SimpleStackBasedCogit] retries=2" in text
+        assert "primitiveAdd" not in text
+
+    def test_results_without_retry_field_are_tolerated(self):
+        """Pre-PR-5 journal replays rebuild results without the field."""
+        from types import SimpleNamespace
+
+        reports = [SimpleNamespace(results=[
+            SimpleNamespace(instruction="pushTrue", compiler="native")
+        ])]
+        assert retried_cells(reports) == []
 
 
 class TestCompilerReport:

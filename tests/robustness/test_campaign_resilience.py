@@ -90,6 +90,26 @@ class TestCrashIsolation:
         assert len(reports.quarantine) == 0
         assert table2(reports) == table2(baseline)
 
+    def test_retried_cell_surfaces_in_the_report(self, baseline, tmp_path):
+        """A retried-but-recovered cell is not invisible: the retry
+        section names it, the count survives the journal, and the
+        fault-free baseline prints no section at all."""
+        from repro.difftest.report import format_retries
+
+        journal = tmp_path / "run.jsonl"
+        plan = FaultPlan(stage="compile", instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER, times=1)
+        with inject_faults(plan):
+            reports = run_campaign(CONFIG, journal_path=journal)
+
+        text = format_retries(reports)
+        assert "Retried cells: 1 (1 reduced-budget retries)" in text
+        assert f"{TARGET_INSTRUCTION} [{TARGET_COMPILER}] retries=1" in text
+        assert format_retries(baseline) == ""
+
+        resumed = run_campaign(CONFIG, journal_path=journal, resume=True)
+        assert format_retries(resumed) == text
+
     def test_hang_without_deadline_is_cell_budget_quarantine(self):
         """A simulated hang is bounded by the budget layer and lands in
         quarantine as a BudgetExhausted cell, not a stuck campaign."""

@@ -38,6 +38,29 @@ class TestQuarantineEntry:
         entry = make_entry()
         assert QuarantineEntry.from_dict(entry.to_dict()) == entry
 
+    def test_unknown_fields_round_trip(self):
+        """A journal written by a newer version may carry fields this
+        version does not know; they must survive a load/save cycle
+        instead of being silently discarded."""
+        data = make_entry().to_dict()
+        data["novel_field"] = {"nested": [1, 2]}
+        data["another"] = "value"
+        entry = QuarantineEntry.from_dict(data)
+        assert entry.extra == {
+            "novel_field": {"nested": [1, 2]}, "another": "value",
+        }
+        assert entry.to_dict() == data
+
+    def test_known_fields_win_over_extra(self):
+        entry = make_entry()
+        entry.extra["instruction"] = "bogus"
+        assert entry.to_dict()["instruction"] == "primitiveAdd"
+
+    def test_extra_fields_do_not_break_equality_round_trip(self):
+        data = dict(make_entry().to_dict(), novel="x")
+        entry = QuarantineEntry.from_dict(data)
+        assert QuarantineEntry.from_dict(entry.to_dict()) == entry
+
 
 class TestQuarantine:
     def test_collection_protocol(self):

@@ -93,6 +93,21 @@ class TestCommands:
         # Replayed cells reproduce the same Table 2.
         assert first.splitlines()[:7] == resumed.splitlines()[:7]
 
+    def test_campaign_triage_prints_causes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "campaign", "--only", "primitiveMod", "--backend", "x86",
+            "--fault-describer-gaps", "R10,R11",
+            "--triage", "--confirm-runs", "1", "--repro-dir", "repros",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Causes (--triage): 1 cause bucket(s)" in out
+        assert "confirmation: deterministic (1/1)" in out
+        assert "self-check: asserted" in out
+        assert "Reproducers in: repros" in out
+        assert list((tmp_path / "repros").glob("*.py"))
+
     def test_campaign_resume_requires_journal(self):
         with pytest.raises(SystemExit, match="--resume requires --journal"):
             main(["campaign", "--resume", "--backend", "x86"])
