@@ -38,6 +38,7 @@ from repro.concolic.explorer import (
     PathResult,
     explore_bytecode,
     explore_native_method,
+    explore_raw,
 )
 from repro.concolic.sequences import (
     BytecodeSequenceSpec,
@@ -74,6 +75,7 @@ __all__ = [
     "PathResult",
     "explore_bytecode",
     "explore_native_method",
+    "explore_raw",
     "BytecodeSequenceSpec",
     "interesting_sequences",
     "sequence_spec",

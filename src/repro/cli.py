@@ -8,11 +8,11 @@ Subcommands mirror the library's main entry points:
 * ``campaign [--max-bytecodes N] [--max-natives N] [--only NAME] [-j N]
   [--deadline S] [--journal PATH] [--resume] [--fail-fast]
   [--triage] [--confirm-runs N] [--repro-dir DIR] [--profile]
-  [--profile-json PATH]`` — the full Table 2/3 evaluation, with
-  parallel sharding, wall-clock budgeting, checkpoint/resume,
-  cache/solver profiling, and defect triage with standalone
-  reproducer emission (operator guides: docs/CAMPAIGN.md,
-  docs/PERFORMANCE.md, docs/TRIAGE.md);
+  [--profile-json PATH] [--raw-explorer]`` — the full Table 2/3
+  evaluation, with parallel sharding, wall-clock budgeting,
+  checkpoint/resume, cache/solver profiling, and defect triage with
+  standalone reproducer emission (operator guides: docs/CAMPAIGN.md,
+  docs/EXPLORATION.md, docs/PERFORMANCE.md, docs/TRIAGE.md);
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
@@ -126,6 +126,7 @@ def cmd_campaign(args) -> int:
         fail_fast=args.fail_fast,
         fault_describer_gaps=gaps,
         profile=profile,
+        raw_explorer=args.raw_explorer,
     )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
@@ -349,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-seed the historical fault-describer defect for these "
              "comma-separated registers (e.g. R10,R11); for fidelity "
              "benchmarks and triage smoke tests",
+    )
+    campaign.add_argument(
+        "--raw-explorer", action="store_true",
+        help="explore with the from-the-root loop instead of the "
+             "prefix-sharing path tree (ablation; identical results, "
+             "see docs/EXPLORATION.md)",
     )
     campaign.add_argument(
         "--profile", action="store_true",

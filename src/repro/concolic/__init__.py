@@ -32,7 +32,9 @@ from repro.concolic.explorer import (
     ConcolicExplorer,
     NativeMethodSpec,
     PathResult,
+    explore_raw,
 )
+from repro.concolic.pathtree import PathTree
 from repro.concolic.sequences import (
     BytecodeSequenceSpec,
     interesting_sequences,
@@ -59,6 +61,8 @@ __all__ = [
     "NativeMethodSpec",
     "ConcolicExplorer",
     "PathResult",
+    "PathTree",
+    "explore_raw",
     "BytecodeSequenceSpec",
     "interesting_sequences",
     "sequence_spec",

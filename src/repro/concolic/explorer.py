@@ -18,6 +18,7 @@ from repro import perf
 from repro.bytecode.methods import CompiledMethod, MethodBuilder, SymbolTable
 from repro.bytecode.opcodes import Bytecode
 from repro.concolic.materialize import Materializer
+from repro.concolic.pathtree import PathTree, SnapshotStore, model_fingerprint
 from repro.concolic.snapshots import OutputSnapshot
 from repro.concolic.solver import Model, SolverContext, solve_status, solve_with_hint
 from repro.concolic.symbolic_memory import SymbolicObjectMemory
@@ -244,13 +245,33 @@ class ConcolicExplorer:
         self.method = spec.build_method(self.memory, self.symbols)
         self.context = SolverContext.from_memory(self.memory)
         #: Heap state right after method synthesis; every iteration
-        #: starts from this snapshot (instructions have side effects).
+        #: starts from this state (instructions have side effects).
         self._base_heap = self.memory.heap.snapshot()
+        #: Copy-on-write checkpoint of the same base state: executions
+        #: rewind the heap's undo journal to it instead of restoring the
+        #: full snapshot, in time proportional to the words they wrote.
+        self._base_mark = self.memory.heap.start_journal()
+        #: The path tree and execution memo of the latest exploration,
+        #: kept for inspection (``--profile`` reads their gauges).
+        self.tree: PathTree | None = None
 
     # ------------------------------------------------------------------
 
     def explore(self) -> ExplorationResult:
-        """Run the negate-last-unnegated loop to completion.
+        """Run the negate-last-unnegated loop over the path tree.
+
+        Same worklist loop as :meth:`explore_raw`, with the exploration
+        state kept in an explicit prefix-sharing
+        :class:`~repro.concolic.pathtree.PathTree`: branch points of
+        recorded paths become tree nodes carrying copy-on-write snapshot
+        handles, and a scheduled negation whose prefix is already
+        realized by a recorded path is answered from the tree without a
+        solver call or a from-the-root re-execution.  Solved models that
+        fingerprint identically to an earlier execution replay that
+        execution instead of re-running it.  Both short-cuts are exact —
+        the returned :class:`ExplorationResult` (paths, order,
+        signatures, counters) is identical to :meth:`explore_raw` up to
+        ``elapsed_seconds``.
 
         A :class:`~repro.robustness.budgets.Deadline` (when given) stops
         the loop between iterations: exploration ends cleanly with
@@ -262,6 +283,9 @@ class ConcolicExplorer:
         maybe_inject("explore", self.spec.name, deadline=self.deadline)
         start = time.perf_counter()
         result = ExplorationResult(self.spec.name, self.spec.kind)
+        tree = PathTree()
+        store = SnapshotStore()
+        self.tree = tree
         tried_prefixes: set = set()
         seen_paths: set = set()
         # Work stack of (constraint prefix, parent model) pairs to
@@ -269,6 +293,87 @@ class ConcolicExplorer:
         # solver: a child prefix shares every literal with its parent's
         # path except the final negated one, so only the independent
         # component containing that literal needs re-solving.
+        worklist: list = [([], None)]
+        while worklist and result.iterations < self.max_iterations:
+            if len(result.paths) >= self.max_paths:
+                break
+            if self.deadline is not None and self.deadline.expired:
+                result.budget_exhausted = True
+                break
+            prefix, hint = worklist.pop()
+            result.iterations += 1
+            if prefix and tree.covers(tuple(c.key for c in prefix)) is not None:
+                # A recorded path already passes through every branch of
+                # this prefix, so it is satisfiable (that path's model
+                # is a witness) and the raw loop's solve-plus-execute
+                # here could only rediscover an already-recorded path.
+                result.duplicate_paths += 1
+                perf.incr("snapshot.reuse")
+                continue
+            with guard("solver"):
+                literals = [c.literal for c in prefix]
+                if hint is None:
+                    model, _stats = solve_status(literals, self.context)
+                else:
+                    model, _stats = solve_with_hint(literals, self.context, hint)
+            if model is None:
+                result.unsat_prefixes += 1
+                continue
+            fingerprint = model_fingerprint(model)
+            path = store.get(fingerprint)
+            if path is None:
+                path = self._execute_once(model)
+                store.put(fingerprint, path)
+            else:
+                # Deterministic replay: this exact input model already
+                # executed once; its PathResult is reused as-is.
+                perf.incr("snapshot.reuse")
+            if path.signature in seen_paths:
+                result.duplicate_paths += 1
+            else:
+                seen_paths.add(path.signature)
+                result.paths.append(path)
+                tree.insert(path, fingerprint)
+            # Schedule negations of every suffix constraint (deepest
+            # first so the DFS explores "closest" branches next).
+            for index in range(len(path.constraints)):
+                candidate = list(path.constraints[:index]) + [
+                    path.constraints[index].negated()
+                ]
+                key = tuple(c.key for c in candidate)
+                if key not in tried_prefixes:
+                    tried_prefixes.add(key)
+                    worklist.append((candidate, path.model))
+        result.elapsed_seconds = time.perf_counter() - start
+        perf.incr("explore.instructions")
+        perf.incr("explore.paths", result.path_count)
+        perf.incr("explore.iterations", result.iterations)
+        perf.incr("explore.unsat_prefixes", result.unsat_prefixes)
+        perf.incr("pathtree.subsumed", tree.subsumed)
+        perf.gauge_max("pathtree.depth", tree.max_depth)
+        perf.gauge_max("pathtree.nodes", tree.node_count)
+        perf.observe("explore", result.elapsed_seconds)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def explore_raw(self) -> ExplorationResult:
+        """The from-the-root loop without the path tree (ablation).
+
+        Every popped prefix goes to the solver and every model executes
+        from the root — no subsumption, no execution replay.  Kept
+        importable (mirroring ``solve_raw``) so benchmarks and the
+        equivalence property suite can compare the two explorers; the
+        result is identical to :meth:`explore` up to ``elapsed_seconds``.
+        """
+        from repro.robustness.errors import guard
+        from repro.robustness.faults import maybe_inject
+
+        maybe_inject("explore", self.spec.name, deadline=self.deadline)
+        start = time.perf_counter()
+        result = ExplorationResult(self.spec.name, self.spec.kind)
+        tried_prefixes: set = set()
+        seen_paths: set = set()
         worklist: list = [([], None)]
         while worklist and result.iterations < self.max_iterations:
             if len(result.paths) >= self.max_paths:
@@ -293,8 +398,6 @@ class ConcolicExplorer:
             else:
                 seen_paths.add(path.signature)
                 result.paths.append(path)
-            # Schedule negations of every suffix constraint (deepest
-            # first so the DFS explores "closest" branches next).
             for index in range(len(path.constraints)):
                 candidate = list(path.constraints[:index]) + [
                     path.constraints[index].negated()
@@ -323,18 +426,35 @@ class ConcolicExplorer:
         return self._execute_once(model)
 
     def _execute_once(self, model: Model) -> PathResult:
-        """One concolic execution with the inputs described by *model*."""
+        """One concolic execution with the inputs described by *model*.
+
+        The heap is rewound to the post-synthesis base state via the
+        copy-on-write journal before and after the run, so the cost per
+        execution is proportional to the words the instruction actually
+        wrote, not to the heap size.
+        """
         memory = self.memory
-        memory.heap.restore(self._base_heap)
-        memory._registry.clear()
+        heap = memory.heap
+        if heap.journaling:
+            # Normally a no-op (the previous execution rewound already);
+            # cleans up if an exception escaped mid-execution.
+            heap.rewind(self._base_mark)
+        else:
+            # Journaling was turned off externally; re-establish the
+            # base state the slow way and restart the journal.
+            heap.restore(self._base_heap)
+            self._base_mark = heap.start_journal()
+        memory.reset_registry()
         materializer = Materializer(memory, model)
         frame = materializer.materialize_frame(self.method)
-        input_heap = memory.heap.snapshot()
+        input_mark = heap.checkpoint()
+        perf.incr("snapshot.create")
         trace = PathTrace()
         with tracing(trace):
             exit_result = self.spec.execute(self.interpreter, frame)
-        output = OutputSnapshot.capture(memory, frame, exit_result, input_heap)
-        memory.heap.restore(self._base_heap)
+        output = OutputSnapshot.capture_cow(memory, frame, exit_result, input_mark)
+        heap.rewind(self._base_mark)
+        perf.incr("snapshot.restore")
         return PathResult(
             instruction=self.spec.name,
             kind=self.spec.kind,
@@ -343,6 +463,15 @@ class ConcolicExplorer:
             exit=exit_result,
             output=output,
         )
+
+
+def explore_raw(spec, **kwargs) -> ExplorationResult:
+    """Ablation entry: explore *spec* with the from-the-root loop.
+
+    Mirrors ``solve_raw`` on the solver side — same results as the
+    default path-tree explorer, none of the prefix sharing.
+    """
+    return ConcolicExplorer(spec, **kwargs).explore_raw()
 
 
 def explore_bytecode(bytecode: Bytecode, **kwargs) -> ExplorationResult:

@@ -1,0 +1,152 @@
+"""The prefix-sharing path tree: exploration state as an explicit tree.
+
+The negate-last-unnegated loop (paper Fig. 1) enumerates *prefixes* of
+recorded path conditions.  The raw loop treats every prefix as an
+independent solver-plus-execution job, so two sibling paths re-pay the
+whole shared part of their history.  This module makes the sharing
+explicit: every branch point of every recorded path becomes a
+:class:`PathNode`, and each node remembers how it was *realized* — which
+recorded path first passed through it, with which input model, at which
+constraint depth.  That triple is the node's snapshot: because one
+concolic execution is deterministic in its input model, the model (plus
+the copy-on-write heap journal of :mod:`repro.memory.heap`) is a
+complete, persistent description of the machine state at the branch
+point, without copying a single heap word.
+
+The explorer uses the tree for two reuse decisions, both exact:
+
+* **Subsumption** — a scheduled negation whose constraint prefix is
+  already realized by some recorded path is never solved or executed
+  again; the nearest realized node answers it (``covers``).
+* **Snapshot reuse** — a solved model that fingerprints identically to
+  an earlier execution's model replays that execution's
+  :class:`~repro.concolic.explorer.PathResult` instead of re-executing
+  from the root (``SnapshotStore``).
+
+Neither decision can change which paths exist: subsumed prefixes are
+satisfiable by construction (a recorded path's model satisfies every
+prefix of its own path condition), and execution is a pure function of
+the model.  The equivalence property suite pins both claims against
+``explore_raw`` over the whole instruction corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concolic.solver.model import Model
+
+
+def model_fingerprint(model: Model) -> tuple:
+    """Canonical hashable identity of a solver model.
+
+    Two models with the same fingerprint materialize byte-identical
+    input frames and heaps, so their executions are interchangeable.
+    """
+    payload = model.to_dict()
+    return (
+        tuple(sorted(payload["kinds"].items())),
+        tuple(sorted(payload["float_values"].items())),
+        tuple(sorted(payload["int_values"].items())),
+        tuple(sorted(payload["aliases"].items())),
+    )
+
+
+@dataclass
+class PathNode:
+    """One branch point: the constraint prefix ending in ``key``."""
+
+    #: Constraint key of the edge into this node (``None`` at the root).
+    key: tuple | None
+    children: dict = field(default_factory=dict)
+    #: The recorded path that first realized this prefix, its model
+    #: fingerprint, and the constraint depth of this node within it —
+    #: the copy-on-write snapshot handle of this branch point.
+    realized_by: object | None = None
+    fingerprint: tuple | None = None
+    depth: int = 0
+
+    def child(self, key: tuple) -> "PathNode | None":
+        return self.children.get(key)
+
+
+class PathTree:
+    """All realized branch points of one instruction's exploration."""
+
+    def __init__(self) -> None:
+        self.root = PathNode(None)
+        self.node_count = 0
+        self.max_depth = 0
+        #: Realized-prefix answers served without solving (subsumption).
+        self.subsumed = 0
+
+    # ------------------------------------------------------------------
+
+    def insert(self, path, fingerprint: tuple | None = None) -> int:
+        """Record *path*'s branch points; returns newly created nodes."""
+        node = self.root
+        created = 0
+        for depth, key in enumerate(path.signature, start=1):
+            child = node.children.get(key)
+            if child is None:
+                child = PathNode(key, depth=depth)
+                node.children[key] = child
+                created += 1
+            if child.realized_by is None:
+                child.realized_by = path
+                child.fingerprint = fingerprint
+            node = child
+        self.node_count += created
+        self.max_depth = max(self.max_depth, len(path.signature))
+        return created
+
+    def walk(self, keys: tuple) -> PathNode | None:
+        """The node for this exact constraint prefix, if it exists."""
+        node = self.root
+        for key in keys:
+            node = node.children.get(key)
+            if node is None:
+                return None
+        return node
+
+    def covers(self, keys: tuple) -> "PathNode | None":
+        """The realized node answering this prefix, or ``None``.
+
+        A realized node means a recorded path already passed through
+        every branch of the prefix: its model satisfies the prefix, so
+        the solver call and the from-the-root re-execution the raw loop
+        would spend here are both redundant.
+        """
+        node = self.walk(keys)
+        if node is not None and node.realized_by is not None:
+            self.subsumed += 1
+            return node
+        return None
+
+
+class SnapshotStore:
+    """Executions memoized by input-model fingerprint.
+
+    The concolic execution of one instruction is deterministic in its
+    materialized inputs, so a model fingerprint seen twice would rebuild
+    the same frame, take the same branches and produce the same
+    :class:`~repro.concolic.explorer.PathResult`.  The store replays the
+    first execution's result instead (``snapshot.reuse``); entries keep
+    the realized path alive for the tree's snapshot handles.
+    """
+
+    def __init__(self) -> None:
+        self._executions: dict = {}
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._executions)
+
+    def get(self, fingerprint: tuple):
+        path = self._executions.get(fingerprint)
+        if path is not None:
+            self.reused += 1
+        return path
+
+    def put(self, fingerprint: tuple, path) -> None:
+        self._executions[fingerprint] = path

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.concolic.terms import Term, evaluate
+from repro.concolic.terms import Term, compiled
 from repro.memory.layout import MAX_SMALL_INT, MIN_SMALL_INT, ObjectFormat
 
 
@@ -239,7 +239,7 @@ class Model:
         """Check every literal evaluates to True under this model."""
         env = self.environment()
         try:
-            return all(evaluate(literal, env) for literal in literals)
+            return all(compiled(literal)(env) for literal in literals)
         except Exception:
             return False
 

@@ -347,10 +347,10 @@ def _dedupe(pool):
 
 
 def _check_literal(literal: Term, env) -> bool:
-    from repro.concolic.terms import EvaluationError, evaluate
+    from repro.concolic.terms import EvaluationError, compiled
 
     try:
-        return bool(evaluate(literal, env))
+        return bool(compiled(literal)(env))
     except EvaluationError:
         return False
     except (ZeroDivisionError, OverflowError):
@@ -479,7 +479,14 @@ def _search_witnesses(problem, assignment, uf, rng, strategy="backtracking",
         budget[0] -= nodes[0]
     if found:
         return True
-    if nodes[0] > limit and stats is not None:
+    if nodes[0] <= limit:
+        # Exhaustive failure: backtracking visited the entire candidate
+        # pool product (its pruning is sound — a literal false under a
+        # partial assignment stays false under every extension), and the
+        # repair loop below samples values from those same pools, so it
+        # cannot succeed where the exhaustive search failed.
+        return False
+    if stats is not None:
         stats.truncated = True
     # Last resort: random repair for pathological pools.
     for name in names:

@@ -113,6 +113,16 @@ class SymbolicObjectMemory(ObjectMemory):
         """Map a raw heap word back to its concolic identity if known."""
         return self._registry.get(raw, raw)
 
+    def reset_registry(self) -> None:
+        """Forget every concolic identity registered so far.
+
+        The explorer calls this between path executions, together with a
+        heap rewind: abstract identities are per-execution, and a stale
+        mapping would let one path's symbolic names leak into the next
+        path's constraints.
+        """
+        self._registry.clear()
+
     @staticmethod
     def _abstract_of(value) -> AbstractValue | None:
         if isinstance(value, ConcolicOop):

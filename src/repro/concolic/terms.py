@@ -114,6 +114,13 @@ class Term:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self):
+        # Compiled evaluators are closures and cannot cross process
+        # boundaries; the receiver recompiles on first evaluation.
+        state = dict(self.__dict__)
+        state.pop("_compiled", None)
+        return state
+
     def __str__(self) -> str:
         cached = self.__dict__.get("_str")
         if cached is not None:
@@ -282,6 +289,88 @@ _FLOAT_BINARIES = {
 
 class EvaluationError(Exception):
     """The term cannot be evaluated under the given environment."""
+
+
+def _compile(term: Term):
+    """Build a closure computing ``evaluate(term, env)`` for any *env*.
+
+    The closure network mirrors :func:`evaluate` exactly — same values,
+    same exceptions — but resolves operator dispatch once per distinct
+    term instead of once per evaluation.  Terms are hash-consed, so the
+    compiled form is shared by every conjunction containing the term.
+    """
+    if term.is_const:
+        value = term.args[0]
+        return lambda env: value
+    if term.is_var:
+        name = term.args[0]
+        return lambda env: env("var", name)
+    if term.op in KIND_PREDICATES or term.op in OOP_ATTRIBUTES:
+        inner = term.args[0]
+        if not inner.is_var:
+            message = f"oop predicate over non-variable: {term}"
+
+            def bad_predicate(env, _message=message):
+                raise EvaluationError(_message)
+
+            return bad_predicate
+        op, name = term.op, inner.args[0]
+        return lambda env: env(op, name)
+    if term.op == "identical":
+        left, right = term.args
+        if not (left.is_var and right.is_var):
+            message = f"identity over non-variables: {term}"
+
+            def bad_identity(env, _message=message):
+                raise EvaluationError(_message)
+
+            return bad_identity
+        pair = (left.args[0], right.args[0])
+        return lambda env: env("identical", pair)
+    if term.op == "not":
+        operand = compiled(term.args[0])
+        return lambda env: not operand(env)
+    if term.op == "neg":
+        operand = compiled(term.args[0])
+        return lambda env: -operand(env)
+    if term.op == "int_to_float":
+        operand = compiled(term.args[0])
+        return lambda env: float(operand(env))
+    operands = tuple(compiled(arg) for arg in term.args)
+    if term.op in _COMPARISONS:
+        fn, (left, right) = _COMPARISONS[term.op], operands
+        return lambda env: fn(left(env), right(env))
+    if term.op in _INT_BINARIES or term.op in _FLOAT_BINARIES:
+        fn = (_INT_BINARIES.get(term.op) or _FLOAT_BINARIES[term.op])
+        left, right = operands
+        message = (
+            f"undefined arithmetic in {term}"
+            if term.op in _INT_BINARIES
+            else f"undefined float arithmetic in {term}"
+        )
+
+        def binary(env, _fn=fn, _left=left, _right=right, _message=message):
+            result = _fn(_left(env), _right(env))
+            if result is None:
+                raise EvaluationError(_message)
+            return result
+
+        return binary
+    message = f"unknown operator {term.op}"
+
+    def unknown(env, _message=message):
+        raise EvaluationError(_message)
+
+    return unknown
+
+
+def compiled(term: Term):
+    """The memoized compiled evaluator of *term* (see :func:`_compile`)."""
+    fn = term.__dict__.get("_compiled")
+    if fn is None:
+        fn = _compile(term)
+        object.__setattr__(term, "_compiled", fn)
+    return fn
 
 
 def evaluate(term: Term, env) -> object:

@@ -158,6 +158,10 @@ class CampaignConfig:
     #: Profiling observes counters and wall-clock only; reports stay
     #: byte-identical with it on or off.
     profile: bool = False
+    #: Explore with the from-the-root loop instead of the prefix-sharing
+    #: path tree (``campaign --raw-explorer``); ablation only — results
+    #: are identical, the tree is just faster.
+    raw_explorer: bool = False
 
     def reduced(self) -> "CampaignConfig":
         """The smaller-budget config used for the quarantine retry."""
@@ -180,6 +184,8 @@ def explore_instruction(spec, config: CampaignConfig,
         max_paths=config.max_paths_per_instruction,
         deadline=deadline,
     )
+    if config.raw_explorer:
+        return explorer.explore_raw()
     return explorer.explore()
 
 

@@ -37,6 +37,7 @@ from repro.perf.recorder import (
     enable,
     enabled,
     gauge,
+    gauge_max,
     incr,
     merge_snapshots,
     observe,
@@ -51,6 +52,7 @@ __all__ = [
     "enable",
     "enabled",
     "gauge",
+    "gauge_max",
     "incr",
     "merge_snapshots",
     "observe",

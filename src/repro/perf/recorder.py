@@ -87,6 +87,21 @@ def gauge(name: str, value) -> None:
         rec.gauges[name] = value
 
 
+def gauge_max(name: str, value) -> None:
+    """Record a gauge that keeps the largest value seen in-process.
+
+    Per-instruction gauges (path-tree depth, node count) would otherwise
+    report whichever instruction happened to run last; the campaign-wide
+    number of interest is the peak, matching how :func:`merge_snapshots`
+    folds gauges across workers.
+    """
+    rec = _ACTIVE
+    if rec is not None:
+        current = rec.gauges.get(name)
+        if current is None or value > current:
+            rec.gauges[name] = value
+
+
 @contextmanager
 def timer(stage: str) -> Iterator[None]:
     """Time a block; free when profiling is off."""

@@ -15,6 +15,10 @@ _CACHE_TIERS = (
     ("exploration cache", "explore.cache_hits", "explore.cache_misses"),
     ("solver memo", "solver.memo_hits", "solver.memo_misses"),
     ("warm-start", "solver.warm_hits", "solver.warm_fallbacks"),
+    # A "hit" is a worklist entry the path tree answered without
+    # re-executing (subsumed prefix or replayed model); a "miss" is a
+    # fresh concolic execution (= snapshot.create).
+    ("snapshot reuse", "snapshot.reuse", "snapshot.create"),
 )
 
 
@@ -68,3 +72,21 @@ def solver_memo_hit_rate(snapshot: dict) -> float | None:
     if hits + misses == 0:
         return None
     return hits / (hits + misses)
+
+
+def snapshot_reuse_rate(snapshot: dict) -> float | None:
+    """Path-tree snapshot reuse rate in [0, 1], or None if idle.
+
+    ``snapshot.reuse`` counts worklist entries the tree answered without
+    a concolic execution (subsumed prefixes + replayed models);
+    ``snapshot.create`` counts fresh executions.  Used by the CI
+    perf-smoke gate next to :func:`solver_memo_hit_rate`: a rate of
+    exactly 0 over a non-trivial campaign means the path tree silently
+    stopped sharing prefixes.
+    """
+    counters = snapshot.get("counters", {})
+    reused = counters.get("snapshot.reuse", 0)
+    created = counters.get("snapshot.create", 0)
+    if reused + created == 0:
+        return None
+    return reused / (reused + created)

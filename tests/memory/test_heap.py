@@ -114,3 +114,100 @@ class TestSnapshots:
         for offset, value in enumerate(values):
             heap.write_word(address + offset * WORD_SIZE, value)
         assert list(heap.snapshot()) == values
+
+
+class TestCopyOnWriteJournal:
+    def test_checkpoint_requires_journal(self, heap):
+        with pytest.raises(ValueError):
+            heap.checkpoint()
+        mark = heap.start_journal()
+        heap.stop_journal()
+        assert not heap.journaling
+        with pytest.raises(ValueError):
+            heap.rewind(mark)
+
+    def test_rewind_undoes_writes_and_allocations(self, heap):
+        a = heap.allocate(2)
+        heap.write_word(a, 7)
+        base = heap.start_journal()
+        heap.write_word(a, 99)
+        b = heap.allocate(2)
+        heap.write_word(b, 123)
+        heap.rewind(base)
+        assert heap.read_word(a) == 7
+        assert heap.allocated_words == 2
+        assert not heap.contains(b)
+
+    def test_rewound_allocations_come_back_zeroed(self, heap):
+        base = heap.start_journal()
+        a = heap.allocate(2)
+        heap.write_word(a, 0xDEAD)
+        heap.rewind(base)
+        b = heap.allocate(2)
+        assert b == a
+        assert heap.read_word(b) == 0
+
+    def test_nested_checkpoints_rewind_independently(self, heap):
+        a = heap.allocate(1)
+        heap.start_journal()
+        heap.write_word(a, 1)
+        mid = heap.checkpoint()
+        heap.write_word(a, 2)
+        heap.rewind(mid)
+        assert heap.read_word(a) == 1
+
+    def test_restore_invalidates_journal(self, heap):
+        snap = heap.snapshot()
+        heap.start_journal()
+        a = heap.allocate(1)
+        heap.write_word(a, 5)
+        mark = heap.checkpoint()
+        heap.restore(snap)
+        assert heap.journaling
+        with pytest.raises(ValueError):
+            heap.rewind(mark)
+
+    def test_writes_since_matches_diff(self, heap):
+        """The COW capture path is byte-identical to the snapshot diff."""
+        a = heap.allocate(4)
+        heap.write_word(a, 10)
+        heap.write_word(a + WORD_SIZE, 20)
+        mark = heap.start_journal()
+        snap = heap.snapshot()
+        heap.write_word(a, 11)            # changed
+        heap.write_word(a + WORD_SIZE, 20)  # written, unchanged
+        b = heap.allocate(2)
+        heap.write_word(b, 33)            # new allocation, written
+        # b+WORD_SIZE: new allocation, never written (still reported)
+        assert heap.writes_since(mark) == heap.diff(snap)
+        assert heap.writes_since(mark) == {
+            a: (10, 11),
+            b: (0, 33),
+            b + WORD_SIZE: (0, 0),
+        }
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("write"), st.integers(0, 15), st.integers(0, 2**32 - 1)),
+                st.tuples(st.just("alloc"), st.integers(1, 4), st.just(0)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_journal_agrees_with_snapshots_under_random_traffic(self, ops):
+        heap = Heap(size_words=256)
+        start = heap.allocate(16)
+        for offset in range(16):
+            heap.write_word(start + offset * WORD_SIZE, offset + 1)
+        mark = heap.start_journal()
+        snap = heap.snapshot()
+        for op, x, value in ops:
+            if op == "write":
+                heap.write_word(start + x * WORD_SIZE, value)
+            else:
+                heap.allocate(x)
+        assert heap.writes_since(mark) == heap.diff(snap)
+        heap.rewind(mark)
+        assert heap.snapshot() == snap
+        assert heap.writes_since(mark) == {}

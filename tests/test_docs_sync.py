@@ -1,21 +1,29 @@
-"""Docs-as-test: the operator guide must cover the real CLI surface.
+"""Docs-as-test: the operator guides must cover the real surface.
 
 ``docs/CAMPAIGN.md`` promises to document *every* flag of the
 ``campaign`` subcommand.  This test introspects the live argparse
 parser so the guide cannot silently drift from ``src/repro/cli.py``:
 adding a campaign flag without documenting it fails here.
+
+``docs/EXPLORATION.md`` makes the symmetric promise for the
+exploration engine: the ablation flag row, every profile counter and
+gauge it names, and every module path it mentions must exist in the
+code.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser
 
-DOCS = Path(__file__).resolve().parent.parent / "docs" / "CAMPAIGN.md"
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs" / "CAMPAIGN.md"
+EXPLORATION = ROOT / "docs" / "EXPLORATION.md"
 
 
 def campaign_subparser() -> argparse.ArgumentParser:
@@ -61,3 +69,73 @@ def test_guide_links_are_not_stale():
     assert (root / "docs" / "RESILIENCE.md").exists()
     assert (root / "tests" / "test_docs_sync.py").exists()
     assert "DESIGN.md" in DOCS.read_text(encoding="utf-8")
+
+
+def test_markdown_cross_links_resolve():
+    """Every `(X.md)` link in docs/ points at an existing sibling."""
+    for guide in sorted((ROOT / "docs").glob("*.md")):
+        for target in re.findall(r"\]\(([A-Z_]+\.md)\)", guide.read_text(encoding="utf-8")):
+            assert (ROOT / "docs" / target).exists(), (
+                f"{guide.name} links to docs/{target}, which does not exist"
+            )
+
+
+# ----------------------------------------------------------------------
+# docs/EXPLORATION.md
+
+
+def exploration_text() -> str:
+    return EXPLORATION.read_text(encoding="utf-8")
+
+
+def exploration_counters() -> list[str]:
+    """Counter/gauge names the exploration guide documents."""
+    return sorted(set(re.findall(r"`((?:snapshot|pathtree)\.[a-z_]+)`",
+                                 exploration_text())))
+
+
+def exploration_module_paths() -> list[str]:
+    """`src/...py` module paths the exploration guide mentions."""
+    return sorted(set(re.findall(r"`(src/[\w/]+\.py)`", exploration_text())))
+
+
+def test_exploration_guide_introspection_is_not_vacuous():
+    assert len(exploration_counters()) >= 6
+    assert "src/repro/concolic/pathtree.py" in exploration_module_paths()
+
+
+def test_exploration_guide_documents_the_ablation_flag():
+    """The `--raw-explorer` flag row must match the real CLI flag."""
+    assert "--raw-explorer" in campaign_flags()
+    assert "`--raw-explorer`" in exploration_text()
+
+
+@pytest.mark.parametrize("name", exploration_counters())
+def test_exploration_counter_exists_in_source(name):
+    """Every counter/gauge the guide names is actually recorded."""
+    sources = (ROOT / "src" / "repro").rglob("*.py")
+    assert any(name in path.read_text(encoding="utf-8") for path in sources), (
+        f"{name} appears in docs/EXPLORATION.md but nowhere in src/repro"
+    )
+
+
+@pytest.mark.parametrize("path", exploration_module_paths())
+def test_exploration_module_path_exists(path):
+    assert (ROOT / path).exists(), (
+        f"docs/EXPLORATION.md mentions {path}, which does not exist"
+    )
+
+
+def test_exploration_guide_is_cross_linked():
+    """The guide is discoverable from its siblings and the README."""
+    for referrer in (
+        ROOT / "README.md",
+        ROOT / "docs" / "CAMPAIGN.md",
+        ROOT / "docs" / "PERFORMANCE.md",
+    ):
+        assert "EXPLORATION.md" in referrer.read_text(encoding="utf-8"), (
+            f"{referrer.name} does not link to docs/EXPLORATION.md"
+        )
+    assert "## 15." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    walkthrough = (ROOT / "docs" / "WALKTHROUGH.md").read_text(encoding="utf-8")
+    assert "## 6." in walkthrough and "path tree" in walkthrough
