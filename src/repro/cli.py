@@ -13,6 +13,11 @@ Subcommands mirror the library's main entry points:
   checkpoint/resume, cache/solver profiling, and defect triage with
   standalone reproducer emission (operator guides: docs/CAMPAIGN.md,
   docs/EXPLORATION.md, docs/PERFORMANCE.md, docs/TRIAGE.md);
+* ``mutate [--mutant ID] [--budgets N,N] [-j N] [--journal-dir DIR]
+  [--resume] [--json PATH]`` — the detection-recall benchmark: seed
+  each registered semantic mutant into the live interpreter / JIT /
+  simulator, re-run the campaign, and report recall, time to first
+  detection and triage convergence (operator guide: docs/MUTATION.md);
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
@@ -52,6 +57,36 @@ COMPILERS = {
     "native": NativeMethodCompiler,
 }
 BACKENDS = {"x86": X86Backend, "arm32": Arm32Backend}
+
+
+def parse_fault_describer_gaps(text: str | None) -> tuple:
+    """Validate ``--fault-describer-gaps`` against the register file.
+
+    The simulator derives its getter table by *set difference* from
+    ``GENERAL_REGISTERS``, so an unknown name used to be silently
+    ignored — ``--fault-describer-gaps R10,RR11`` seeded half the
+    defect and reported nothing.  Unknown names now exit with the
+    valid inventory; repeats are deduped (order-preserving).
+    """
+    from repro.jit.machine.registers import GENERAL_REGISTERS
+
+    gaps: list[str] = []
+    unknown: list[str] = []
+    for chunk in (text or "").split(","):
+        name = chunk.strip()
+        if not name:
+            continue
+        if name not in GENERAL_REGISTERS:
+            unknown.append(name)
+        elif name not in gaps:
+            gaps.append(name)
+    if unknown:
+        raise SystemExit(
+            "--fault-describer-gaps: unknown register name(s) "
+            + ", ".join(repr(name) for name in unknown)
+            + "; valid registers: " + ", ".join(GENERAL_REGISTERS)
+        )
+    return tuple(gaps)
 
 
 def resolve_spec(name: str):
@@ -112,10 +147,12 @@ def cmd_campaign(args) -> int:
     from repro.difftest.report import format_quarantine, format_retries
 
     profile = bool(args.profile or args.profile_json)
-    gaps = tuple(
-        part for chunk in (args.fault_describer_gaps or "").split(",")
-        for part in (chunk.strip(),) if part
-    )
+    gaps = parse_fault_describer_gaps(args.fault_describer_gaps)
+    mutants = ()
+    if getattr(args, "mutant", None):
+        from repro.mutation import parse_mutants
+
+        mutants = parse_mutants(args.mutant)
     config = CampaignConfig(
         max_bytecodes=args.max_bytecodes,
         max_natives=args.max_natives,
@@ -125,6 +162,7 @@ def cmd_campaign(args) -> int:
         deadline_seconds=args.deadline,
         fail_fast=args.fail_fast,
         fault_describer_gaps=gaps,
+        mutants=mutants,
         profile=profile,
         raw_explorer=args.raw_explorer,
     )
@@ -191,6 +229,68 @@ def cmd_campaign(args) -> int:
         where = args.journal or "a journal (use --journal)"
         print(f"\ncampaign deadline expired; resume with --resume via {where}")
         return 2
+    return 0
+
+
+def cmd_mutate(args) -> int:
+    """The detection-recall benchmark: ``repro mutate`` (docs/MUTATION.md)."""
+    import repro.mutation  # registers the operator corpus
+    from repro.mutation import MUTANTS, parse_mutants
+    from repro.mutation.recall import (
+        DEFAULT_BUDGETS,
+        format_recall,
+        run_recall,
+    )
+
+    if args.list:
+        for mutant in MUTANTS.values():
+            gate = "" if mutant.expected_caught else "  [outside CI gate]"
+            print(f"{mutant.id:4s} {mutant.family:12s} "
+                  f"{mutant.description}{gate}")
+        return 0
+    mutant_ids = parse_mutants(args.mutant) or None
+    try:
+        budgets = tuple(dict.fromkeys(
+            int(part) for part in (args.budgets or "").split(",") if part.strip()
+        )) or DEFAULT_BUDGETS
+    except ValueError:
+        raise SystemExit(f"--budgets must be comma-separated integers, "
+                         f"got {args.budgets!r}")
+    if args.resume and not args.journal_dir:
+        raise SystemExit("--resume requires --journal-dir")
+    config = CampaignConfig(
+        max_bytecodes=args.max_bytecodes,
+        max_natives=args.max_natives,
+        only=tuple(args.only or ()),
+        backends=tuple(BACKENDS[b] for b in args.backend),
+        max_sim_steps=args.max_sim_steps,
+        deadline_seconds=args.deadline,
+    )
+
+    def progress(message: str) -> None:
+        # Status lines go to stderr: stdout is the deterministic
+        # report surface (byte-identical across -j / --resume).
+        print(f"mutate: {message}", file=sys.stderr)
+
+    report = run_recall(
+        config,
+        mutant_ids,
+        budgets,
+        jobs=args.jobs,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        convergence=not args.no_triage,
+        confirm_runs=args.confirm_runs,
+        progress=progress,
+    )
+    print(format_recall(report))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(
+            report.to_dict(include_timing=False), indent=2, sort_keys=True
+        ) + "\n")
     return 0
 
 
@@ -352,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
              "benchmarks and triage smoke tests",
     )
     campaign.add_argument(
+        "--mutant", action="append", metavar="ID",
+        help="run the whole campaign under this semantic mutant from "
+             "the mutation registry (repeatable; see docs/MUTATION.md "
+             "and `repro mutate --list`)",
+    )
+    campaign.add_argument(
         "--raw-explorer", action="store_true",
         help="explore with the from-the-root loop instead of the "
              "prefix-sharing path tree (ablation; identical results, "
@@ -368,6 +474,70 @@ def build_parser() -> argparse.ArgumentParser:
              "(implies --profile)",
     )
     campaign.set_defaults(handler=cmd_campaign)
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="seed known defects and measure campaign recall "
+             "(docs/MUTATION.md)",
+    )
+    mutate.add_argument(
+        "--mutant", action="append", metavar="ID",
+        help="mutant id(s) to run, repeatable or comma-separated "
+             "(default: every registered mutant)",
+    )
+    mutate.add_argument(
+        "--list", action="store_true",
+        help="print the registered mutant inventory and exit",
+    )
+    mutate.add_argument(
+        "--budgets", metavar="N,N,...", default=None,
+        help="comma-separated path budgets (max paths per instruction) "
+             "to sweep (default: 4,16,64)",
+    )
+    mutate.add_argument("--max-bytecodes", type=int)
+    mutate.add_argument("--max-natives", type=int)
+    mutate.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="restrict the campaigns to this instruction (repeatable)",
+    )
+    mutate.add_argument("--backend", action="append", choices=sorted(BACKENDS))
+    mutate.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per campaign (default: 1; 0 = one per CPU)",
+    )
+    mutate.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per campaign run (default: none)",
+    )
+    mutate.add_argument(
+        "--max-sim-steps", type=int, default=20_000, metavar="N",
+        help="fuel limit per simulated machine execution (default: 20000)",
+    )
+    mutate.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="checkpoint every (phase, budget) campaign to its own "
+             "JSONL journal in this directory",
+    )
+    mutate.add_argument(
+        "--resume", action="store_true",
+        help="replay cells already journaled in --journal-dir",
+    )
+    mutate.add_argument(
+        "--no-triage", action="store_true",
+        help="skip the triage-convergence measurement (recall and "
+             "first-detection only)",
+    )
+    mutate.add_argument(
+        "--confirm-runs", type=int, default=2, metavar="N",
+        help="confirmation re-runs per cause bucket during the "
+             "convergence measurement (default: 2)",
+    )
+    mutate.add_argument(
+        "--json", metavar="PATH",
+        help="write the recall report as JSON to PATH (deterministic; "
+             "no wall-clock fields)",
+    )
+    mutate.set_defaults(handler=cmd_mutate)
 
     listing = sub.add_parser("list", help="instruction inventory")
     listing.add_argument(
@@ -395,7 +565,7 @@ def main(argv=None) -> int:
     if getattr(args, "backend", None) in (None, []):
         if hasattr(args, "backend"):
             args.backend = ["x86", "arm32"] if args.command in (
-                "test", "campaign"
+                "test", "campaign", "mutate"
             ) else ["x86"]
     return args.handler(args)
 

@@ -154,6 +154,13 @@ class CampaignConfig:
     #: Re-seed the historical R10/R11 fault-describer defect (paper
     #: fidelity benchmarks and fault-injection tests only).
     fault_describer_gaps: tuple = ()
+    #: Active mutant ids from the semantic mutation registry
+    #: (``campaign --mutant`` / ``repro mutate``; see docs/MUTATION.md).
+    #: Part of the config so the mutated semantics cross the fork
+    #: boundary with the pickled config and reach every engine: the
+    #: sequential runner, pool workers, quarantine retries, triage
+    #: trials and emitted reproducers all activate exactly this tuple.
+    mutants: tuple = ()
     #: Collect cache/solver instrumentation (``campaign --profile``).
     #: Profiling observes counters and wall-clock only; reports stay
     #: byte-identical with it on or off.
@@ -164,7 +171,15 @@ class CampaignConfig:
     raw_explorer: bool = False
 
     def reduced(self) -> "CampaignConfig":
-        """The smaller-budget config used for the quarantine retry."""
+        """The smaller-budget config used for the quarantine retry.
+
+        Only the *budgets* shrink.  The semantic knobs — the seeded
+        describer gaps and the active mutants — are threaded through
+        explicitly: a quarantine retry must re-run the cell under the
+        exact semantics the first attempt saw, or the retry would
+        "fix" a seeded defect by accident (see
+        tests/mutation/test_retry_semantics.py).
+        """
         scale = self.retry_scale
         return replace(
             self,
@@ -173,6 +188,8 @@ class CampaignConfig:
             ),
             max_iterations=max(1, int(self.max_iterations * scale)),
             max_sim_steps=max(256, int(self.max_sim_steps * scale)),
+            fault_describer_gaps=self.fault_describer_gaps,
+            mutants=self.mutants,
         )
 
 
@@ -414,7 +431,27 @@ def execute_cell(config: CampaignConfig, deadline, spec, compiler_class,
     inside its own OS process.  A campaign-scoped
     :class:`BudgetExhausted` (the shared deadline expiring) always
     propagates — stopping the run is the caller's decision.
+
+    ``config.mutants`` is activated around the whole cell — both the
+    full-budget attempt and the reduced-budget quarantine retry — so
+    every execution path sees the same (possibly mutated) semantics
+    regardless of which engine called in.  Activation is
+    reference-counted (:mod:`repro.mutation.registry`), so a caller
+    that already holds the mutants active (a pool worker forked under
+    them, a triage pass) nests safely.
     """
+    # Local import: repro.mutation's operator modules patch the same
+    # interpreter/jit classes this module imports, and its recall
+    # driver imports this module — a top-level import would cycle.
+    from repro.mutation import activated
+
+    with activated(config.mutants):
+        return _execute_cell_attempts(config, deadline, spec,
+                                      compiler_class, explorations)
+
+
+def _execute_cell_attempts(config: CampaignConfig, deadline, spec,
+                           compiler_class, explorations: ExplorationCache):
     error = None
     for attempt, cfg in enumerate((config, config.reduced())):
         deadline.check(f"cell {spec.name}/{compiler_class.name}")

@@ -1,0 +1,36 @@
+"""Semantic mutation engine: differential-test the tester.
+
+``repro.mutation`` seeds *known* defects — mutants — into the live
+interpreter, JIT front-ends and CPU simulator, runs the regular
+campaign under each one, and measures whether the campaign notices
+(recall), how fast (time-to-first-detection, in deterministic plan
+order) and how cleanly triage explains it (cause-bucket convergence).
+Operator guide: docs/MUTATION.md; CLI: ``repro mutate`` and
+``campaign --mutant ID``.
+
+Importing this package registers the full operator corpus
+(interpreter, compiler and simulator families).
+"""
+
+from repro.mutation.registry import (  # noqa: F401
+    FAMILIES,
+    MUTANTS,
+    Mutant,
+    activated,
+    active_ids,
+    all_ids,
+    by_family,
+    get,
+    parse_mutants,
+    register,
+)
+from repro.mutation import (  # noqa: E402,F401  (registration side effects)
+    compiler_ops,
+    interpreter_ops,
+    simulator_ops,
+)
+
+# NOTE: the recall benchmark driver lives in repro.mutation.recall and
+# is imported lazily by its consumers (CLI, benchmarks) — it depends on
+# the campaign runner, which itself activates mutants, and importing it
+# here would close that cycle.

@@ -1,0 +1,123 @@
+"""Compiler-family mutants: defects seeded into the JIT front-ends.
+
+These are the defects the campaign exists to find (paper Table 3:
+"Missing type check in compiled code", "Wrong implementation",
+"Wrong spill management"), seeded on purpose so recall is measurable.
+All three byte-code front-ends share :class:`BytecodeCogit`'s code
+generators, so a base-class patch mutates ``simple``, ``s2r`` and
+``linear`` at once — the recall report shows which front-ends'
+campaign rows actually move.
+
+* ``C1`` — wrong condition flag: ``#<`` compiles to a ``ge`` boolean,
+  inverting every inline integer comparison.
+* ``C2`` — clobbered scratch register: the two untagging scratch
+  registers alias, so the untagged receiver is overwritten by the
+  untagged argument before the ALU op (``a + b`` computes ``b + b``).
+* ``C3`` — dropped spill: :class:`StackToRegisterCogit.gen_flush`
+  materializes deferred stack entries without counting them as
+  spilled, desynchronizing the compiler's stack-depth model from the
+  machine stack.
+
+Every patch replaces a class attribute and the undo restores the
+captured original — see :mod:`repro.mutation.registry`.
+"""
+
+from __future__ import annotations
+
+from repro.jit.compiler import BytecodeCogit
+from repro.jit.stack_to_register import StackToRegisterCogit
+from repro.mutation.registry import Mutant, register
+
+
+def _install_wrong_condition_flag():
+    original = BytecodeCogit.gen_bytecodePrimLessThan
+
+    def mutated(self, unit):
+        # Mutant: the `<` comparison materializes the `ge` flag.
+        self._gen_int_comparison("<", "ge")
+
+    BytecodeCogit.gen_bytecodePrimLessThan = mutated
+
+    def undo():
+        BytecodeCogit.gen_bytecodePrimLessThan = original
+
+    return undo
+
+
+def _install_clobbered_scratch_register():
+    original = BytecodeCogit.TMP_B
+
+    # Mutant: TMP_B aliases TMP_A, so `move TMP_B, ARG; untag TMP_B`
+    # clobbers the untagged receiver every generator staged in TMP_A.
+    BytecodeCogit.TMP_B = BytecodeCogit.TMP_A
+
+    def undo():
+        BytecodeCogit.TMP_B = original
+
+    return undo
+
+
+def _install_dropped_spill():
+    original = StackToRegisterCogit.gen_flush
+
+    def mutated(self):
+        # Mutated copy of StackToRegisterCogit.gen_flush: entries are
+        # materialized onto the machine stack but the spill counter is
+        # never advanced, so later stack-depth reasoning under-counts.
+        for entry in self._sim:
+            if entry.kind == "const":
+                self.ir.push_const(entry.value, self.TMP_D)
+            else:
+                self.ir.push(entry.reg)
+        self._sim.clear()
+
+    StackToRegisterCogit.gen_flush = mutated
+
+    def undo():
+        StackToRegisterCogit.gen_flush = original
+
+    return undo
+
+
+register(Mutant(
+    id="C1",
+    family="compiler",
+    target="repro.jit.compiler.BytecodeCogit.gen_bytecodePrimLessThan",
+    description=(
+        "wrong condition flag: compile #< with the ge condition "
+        "(inverted inline comparison)"
+    ),
+    install=_install_wrong_condition_flag,
+))
+
+register(Mutant(
+    id="C2",
+    family="compiler",
+    target="repro.jit.compiler.BytecodeCogit.TMP_B",
+    description=(
+        "clobbered scratch register: alias the two untagging scratch "
+        "registers so the receiver is overwritten by the argument"
+    ),
+    install=_install_clobbered_scratch_register,
+    # One mechanical defect, many phenotypes: every generator that
+    # stages its receiver in TMP_A misbehaves in its own way, so triage
+    # correctly reports one explanation per affected instruction rather
+    # than one per defect.  No convergence bound.
+    convergence_bound=None,
+))
+
+register(Mutant(
+    id="C3",
+    family="compiler",
+    target="repro.jit.stack_to_register.StackToRegisterCogit.gen_flush",
+    description=(
+        "dropped spill: flush deferred stack entries without counting "
+        "them as spilled"
+    ),
+    install=_install_dropped_spill,
+    # Single-instruction tests start from a pre-materialized stack, so
+    # the deferred-entry flush rarely runs with entries pending; this
+    # mutant needs the sequence corpus to matter and is outside the CI
+    # recall gate's known-catchable subset.
+    expected_caught=False,
+))

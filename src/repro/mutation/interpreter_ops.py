@@ -1,0 +1,148 @@
+"""Interpreter-family mutants: defects seeded into the reference oracle.
+
+The interpreter is both the reference semantics of every differential
+comparison *and* the concolic exploration engine (the explorer runs
+the same handler classes over symbolic memory).  An interpreter mutant
+therefore changes what the campaign believes is *correct* — detection
+happens because the (unmutated) JIT compilers now disagree with the
+mutated oracle, exactly the signal the paper's Table 3 families
+"Missing type check in the interpreter" and "Wrong implementation"
+describe from the other direction.
+
+Three operators, one per seeded-defect category of the ROADMAP item:
+
+* ``I1`` — drop a receiver/argument type check: the ``Listing 1``
+  arithmetic fast path checks only the receiver tag, so a SmallInteger
+  receiver with a non-integer argument takes the integer fast path on
+  garbage.
+* ``I2`` — off-by-one the SmallInteger tag mask: ``oop & 1 == 1``
+  becomes ``oop & 3 == 1``, so odd-valued SmallIntegers are no longer
+  recognized as integers anywhere the memory protocol is consulted
+  (the symbolic memory inherits the defect through ``super()``).
+* ``I3`` — skip a failure-code write: primitive overflow "fails"
+  without recording the failure, so the interpreter reports success
+  with the operands still on the stack.
+
+Every patch replaces a class/module attribute and the undo restores
+the captured original object — see :mod:`repro.mutation.registry` for
+the activation contract.
+"""
+
+from __future__ import annotations
+
+from repro.interpreter import primitives as _primitives
+from repro.interpreter.exits import ExitResult
+from repro.interpreter.interpreter import Interpreter
+from repro.memory.object_memory import ObjectMemory
+from repro.mutation.registry import Mutant, register
+
+
+def _install_drop_argument_check():
+    original = Interpreter._arith_binary
+
+    def mutated(self, frame, selector, int_op, float_op):
+        # Mutated copy of Interpreter._arith_binary: the fast-path
+        # guard tests only the receiver, not the argument.
+        rcvr = frame.stack_value(1)
+        arg = frame.stack_value(0)
+        memory = self.memory
+        if memory.is_integer_object(rcvr):  # mutant: arg check dropped
+            result = int_op(
+                memory.integer_value_of(rcvr), memory.integer_value_of(arg)
+            )
+            if memory.is_integer_value(result):
+                frame.pop_then_push(2, memory.integer_object_of(result))
+                return ExitResult.success()
+        elif memory.is_float_object(rcvr) and memory.is_float_object(arg):
+            result_value = float_op(
+                memory.float_value_of(rcvr), memory.float_value_of(arg)
+            )
+            frame.pop_then_push(2, memory.float_object_of(result_value))
+            return ExitResult.success()
+        return self._normal_send(selector, 1)
+
+    Interpreter._arith_binary = mutated
+
+    def undo():
+        Interpreter._arith_binary = original
+
+    return undo
+
+
+def _install_tag_mask_off_by_one():
+    original_is_integer = ObjectMemory.is_integer_object
+    original_are_integers = ObjectMemory.are_integers
+
+    def is_integer_object(self, oop):
+        # Mutant: the tag test widens to the low *two* bits, so tagged
+        # SmallIntegers with an odd payload (bit 1 set) stop looking
+        # like integers.  Pointer oops (bit 0 clear) are unaffected.
+        return (oop & 3) == 1
+
+    def are_integers(self, receiver, argument):
+        return self.is_integer_object(receiver) and self.is_integer_object(
+            argument
+        )
+
+    ObjectMemory.is_integer_object = is_integer_object
+    ObjectMemory.are_integers = are_integers
+
+    def undo():
+        ObjectMemory.is_integer_object = original_is_integer
+        ObjectMemory.are_integers = original_are_integers
+
+    return undo
+
+
+def _install_skip_overflow_failure():
+    original = _primitives._fail
+
+    def mutated(reason):
+        if reason == "overflow":
+            # Mutant: the overflow failure code is never written, so
+            # the primitive reports success without pushing a result —
+            # the caller sees a "successful" primitive and a stack that
+            # still holds both operands.
+            return ExitResult.success()
+        return original(reason)
+
+    _primitives._fail = mutated
+
+    def undo():
+        _primitives._fail = original
+
+    return undo
+
+
+register(Mutant(
+    id="I1",
+    family="interpreter",
+    target="repro.interpreter.interpreter.Interpreter._arith_binary",
+    description=(
+        "drop the argument type check on the arithmetic fast path "
+        "(receiver-only guard)"
+    ),
+    install=_install_drop_argument_check,
+))
+
+register(Mutant(
+    id="I2",
+    family="interpreter",
+    target="repro.memory.object_memory.ObjectMemory.is_integer_object",
+    description=(
+        "off-by-one the SmallInteger tag mask (test the low two bits "
+        "instead of the tag bit)"
+    ),
+    install=_install_tag_mask_off_by_one,
+))
+
+register(Mutant(
+    id="I3",
+    family="interpreter",
+    target="repro.interpreter.primitives._fail",
+    description=(
+        "skip the failure-code write on primitive overflow (report "
+        "success, leave the operands on the stack)"
+    ),
+    install=_install_skip_overflow_failure,
+))

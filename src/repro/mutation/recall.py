@@ -1,0 +1,410 @@
+"""The detection-recall benchmark: run the campaign under each mutant.
+
+The campaign's job is to *notice* defects.  This module measures that
+directly: for every registered mutant and every path budget it runs
+the regular campaign twice — once unmutated (the baseline), once with
+the mutant active — and compares the two reports record by record, in
+canonical plan order.  Because the unmutated campaign already reports
+legitimate interpreter/JIT differences (the paper's Tables 2 and 3),
+"detected" is defined as a *delta against the baseline*, never as
+"any difference was reported".
+
+Three quantities per mutant (docs/MUTATION.md):
+
+* **recall** — ``caught`` when the mutated report differs from the
+  baseline at every budget, ``missed`` when it never does, ``flaky``
+  when detection depends on the budget;
+* **time-to-first-detection** — the plan-order index of the first
+  comparison record that deviates from the baseline.  Indices, not
+  wall-clock: the whole report stays byte-identical across ``-j1`` /
+  ``-jN`` / ``--resume`` (wall-clock seconds are collected too, but
+  only surface in the benchmark JSON when explicitly requested);
+* **triage convergence** — cause buckets the triage pipeline creates
+  for the mutant *beyond* the baseline's buckets, at the largest
+  budget (ideally 1: one seeded defect, one explanation).
+
+Every run is a plain :func:`repro.difftest.runner.run_campaign` call
+with ``config.mutants`` set, so parallel sharding, journaling and
+``--resume`` all work unchanged; with a ``journal_dir`` each
+(phase, budget) pair checkpoints to its own JSONL file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro import perf
+from repro.difftest.runner import CampaignConfig, run_campaign
+from repro.mutation import registry
+from repro.triage import TriageConfig
+
+#: Default path budgets (``max_paths_per_instruction``) the recall
+#: sweep runs at; mirrors the paper's budget axis in Fig. 5.
+DEFAULT_BUDGETS = (4, 16, 64)
+
+
+# ----------------------------------------------------------------------
+# detection: canonical report fingerprints
+
+
+def campaign_fingerprint(result) -> tuple:
+    """The campaign's detection surface as canonical JSON lines.
+
+    One line per comparison, in plan order, carrying the cell identity
+    plus the full serialized verdict (:meth:`ComparisonResult
+    .to_record` — status, difference kind, classification facts, path
+    signature).  Quarantined cells are present too: they surface as
+    ``CRASHED`` comparisons in the same stream.  No wall-clock fields,
+    so fingerprints are byte-identical across engines and resumes.
+    """
+    lines = []
+    for report in result:
+        for cell in report.results:
+            for comparison in cell.comparisons:
+                record = dict(comparison.to_record())
+                record["instruction"] = cell.instruction
+                record["compiler"] = cell.compiler
+                lines.append(json.dumps(record, sort_keys=True))
+    return tuple(lines)
+
+
+def _record_label(line: str, index: int) -> str:
+    record = json.loads(line)
+    return (
+        f"{record['instruction']}[{record['compiler']}/"
+        f"{record.get('backend', '?')}]#{index}"
+    )
+
+
+def first_divergence(baseline: tuple, mutated: tuple):
+    """``(index, label)`` of the first deviating record, else ``None``.
+
+    The index counts comparison records in canonical plan order — the
+    deterministic stand-in for "how long until the campaign noticed".
+    """
+    for index, (base, mut) in enumerate(zip(baseline, mutated)):
+        if base != mut:
+            return index, _record_label(mut, index)
+    if len(baseline) != len(mutated):
+        index = min(len(baseline), len(mutated))
+        longer = mutated if len(mutated) > len(baseline) else baseline
+        return index, _record_label(longer[index], index)
+    return None
+
+
+# ----------------------------------------------------------------------
+# the recall report
+
+
+@dataclass
+class MutantOutcome:
+    """Everything the recall sweep learned about one mutant."""
+
+    mutant_id: str
+    family: str
+    description: str
+    expected_caught: bool
+    #: budget -> the mutated report deviated from the baseline.
+    detected: dict = field(default_factory=dict)
+    #: budget -> (record index, cell label) of the first deviation.
+    first_detection: dict = field(default_factory=dict)
+    #: budget -> wall-clock seconds of the mutated campaign (collected
+    #: always, reported only in timing-enabled JSON).
+    seconds: dict = field(default_factory=dict)
+    #: Cause buckets triage created beyond the baseline's (None when
+    #: convergence was not measured for this mutant).
+    new_cause_buckets: int | None = None
+    total_cause_buckets: int | None = None
+    #: The new buckets collapsed by defect explanation — distinct
+    #: (category, cause) pairs.  One seeded defect observed through
+    #: three front-ends is three signature buckets (the signature keys
+    #: on the compiler) but one explanation; this is the "ideally 1"
+    #: convergence number and what the CI gate bounds.
+    new_cause_explanations: int | None = None
+    convergence_budget: int | None = None
+
+    @property
+    def status(self) -> str:
+        hits = [bool(v) for v in self.detected.values()]
+        if hits and all(hits):
+            return "caught"
+        if any(hits):
+            return "flaky"
+        return "missed"
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        payload = {
+            "family": self.family,
+            "description": self.description,
+            "expected_caught": self.expected_caught,
+            "status": self.status,
+            "detected": {
+                str(budget): bool(hit)
+                for budget, hit in sorted(self.detected.items())
+            },
+            "first_detection": {
+                str(budget): (
+                    None if entry is None
+                    else {"index": entry[0], "cell": entry[1]}
+                )
+                for budget, entry in sorted(self.first_detection.items())
+            },
+            "new_cause_buckets": self.new_cause_buckets,
+            "total_cause_buckets": self.total_cause_buckets,
+            "new_cause_explanations": self.new_cause_explanations,
+            "convergence_budget": self.convergence_budget,
+        }
+        if include_timing:
+            payload["seconds"] = {
+                str(budget): round(value, 3)
+                for budget, value in sorted(self.seconds.items())
+            }
+        return payload
+
+
+@dataclass
+class RecallReport:
+    """The full sweep: per-mutant outcomes plus baseline accounting."""
+
+    budgets: tuple
+    outcomes: list = field(default_factory=list)
+    #: budget -> comparison-record count of the unmutated baseline.
+    baseline_records: dict = field(default_factory=dict)
+    #: Baseline triage cause-bucket count at the convergence budget
+    #: (None when convergence was skipped).
+    baseline_cause_buckets: int | None = None
+    convergence_budget: int | None = None
+
+    def outcome(self, mutant_id: str) -> MutantOutcome:
+        for outcome in self.outcomes:
+            if outcome.mutant_id == mutant_id:
+                return outcome
+        raise KeyError(mutant_id)
+
+    @property
+    def expected_subset(self) -> list:
+        return [o for o in self.outcomes if o.expected_caught]
+
+    @property
+    def recall(self) -> float:
+        """Caught fraction over the ``expected_caught`` subset."""
+        subset = self.expected_subset
+        if not subset:
+            return 1.0
+        return sum(1 for o in subset if o.status == "caught") / len(subset)
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        subset = self.expected_subset
+        return {
+            "budgets": list(self.budgets),
+            "mutants": {
+                o.mutant_id: o.to_dict(include_timing=include_timing)
+                for o in self.outcomes
+            },
+            "baseline": {
+                "records": {
+                    str(budget): count
+                    for budget, count in sorted(self.baseline_records.items())
+                },
+                "cause_buckets": self.baseline_cause_buckets,
+            },
+            "convergence_budget": self.convergence_budget,
+            "recall": {
+                "caught": sum(1 for o in subset if o.status == "caught"),
+                "expected": len(subset),
+                "rate": self.recall,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# the sweep driver
+
+
+def _journal_for(journal_dir, phase: str, budget: int):
+    if journal_dir is None:
+        return None, False
+    path = Path(journal_dir) / f"{phase}-b{budget}.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return str(path), path.exists()
+
+
+def _all_causes(triage_report) -> list:
+    return list(triage_report.causes) + list(triage_report.crash_causes)
+
+
+def _cause_digests(triage_report) -> set:
+    return {c.signature.digest for c in _all_causes(triage_report)}
+
+
+def _run_one(config: CampaignConfig, *, jobs, journal_dir, resume,
+             phase: str, budget: int, triage: TriageConfig | None):
+    journal_path, exists = _journal_for(journal_dir, phase, budget)
+    return run_campaign(
+        config,
+        jobs=jobs,
+        journal_path=journal_path,
+        resume=bool(resume and exists),
+        triage=triage,
+    )
+
+
+def run_recall(
+    config: CampaignConfig | None = None,
+    mutant_ids=None,
+    budgets=DEFAULT_BUDGETS,
+    *,
+    jobs: int = 1,
+    journal_dir=None,
+    resume: bool = False,
+    convergence: bool = True,
+    confirm_runs: int = 2,
+    progress=None,
+) -> RecallReport:
+    """Run the full detection-recall sweep; see the module docstring.
+
+    ``config`` scopes the corpus exactly like a campaign config
+    (``only``, ``max_bytecodes``…); its ``max_paths_per_instruction``
+    is overridden by each entry of ``budgets`` in turn, and its
+    ``mutants`` field by each mutant.  ``progress`` is an optional
+    ``callable(str)`` for CLI status lines (sent to stderr by the CLI
+    so stdout stays byte-identical across runs).
+    """
+    config = config or CampaignConfig()
+    ids = tuple(mutant_ids) if mutant_ids else registry.all_ids()
+    for mid in ids:
+        registry.get(mid)  # fail fast on typos
+    budgets = tuple(dict.fromkeys(budgets)) or DEFAULT_BUDGETS
+    convergence_budget = max(budgets) if convergence else None
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    report = RecallReport(budgets=budgets,
+                          convergence_budget=convergence_budget)
+    outcomes = {
+        mid: MutantOutcome(
+            mutant_id=mid,
+            family=registry.get(mid).family,
+            description=registry.get(mid).description,
+            expected_caught=registry.get(mid).expected_caught,
+        )
+        for mid in ids
+    }
+    report.outcomes = list(outcomes.values())
+
+    baseline_digests: set = set()
+    for budget in budgets:
+        measure_convergence = budget == convergence_budget
+        base_config = replace(
+            config, max_paths_per_instruction=budget, mutants=()
+        )
+        triage = (
+            TriageConfig(confirm_runs=confirm_runs, repro_dir=None,
+                         shrink=False, self_verify=False)
+            if measure_convergence else None
+        )
+        note(f"baseline @ budget {budget}"
+             + (" (+triage)" if triage else ""))
+        baseline = _run_one(base_config, jobs=jobs, journal_dir=journal_dir,
+                            resume=resume, phase="baseline", budget=budget,
+                            triage=triage)
+        baseline_fp = campaign_fingerprint(baseline)
+        report.baseline_records[budget] = len(baseline_fp)
+        if measure_convergence and baseline.triage is not None:
+            baseline_digests = _cause_digests(baseline.triage)
+            report.baseline_cause_buckets = len(baseline_digests)
+
+        for mid in ids:
+            outcome = outcomes[mid]
+            mutant_config = replace(base_config, mutants=(mid,))
+            note(f"mutant {mid} @ budget {budget}")
+            start = time.perf_counter()
+            mutated = _run_one(
+                mutant_config, jobs=jobs, journal_dir=journal_dir,
+                resume=resume, phase=f"mutant-{mid}", budget=budget,
+                triage=triage,
+            )
+            outcome.seconds[budget] = time.perf_counter() - start
+            mutated_fp = campaign_fingerprint(mutated)
+            deviation = first_divergence(baseline_fp, mutated_fp)
+            outcome.detected[budget] = deviation is not None
+            outcome.first_detection[budget] = deviation
+            perf.incr("mutation.runs")
+            if deviation is not None:
+                perf.incr("mutation.detections")
+            if measure_convergence and mutated.triage is not None:
+                causes = _all_causes(mutated.triage)
+                new = [
+                    c for c in causes
+                    if c.signature.digest not in baseline_digests
+                ]
+                outcome.new_cause_buckets = len(new)
+                outcome.total_cause_buckets = len(causes)
+                outcome.new_cause_explanations = len({
+                    (c.signature.category, c.signature.cause) for c in new
+                })
+                outcome.convergence_budget = budget
+    return report
+
+
+# ----------------------------------------------------------------------
+# rendering
+
+
+def format_recall(report: RecallReport) -> str:
+    """Deterministic text rendering of one recall sweep."""
+    budgets = report.budgets
+    header = (
+        f"{'Mutant':8s} {'Family':12s} {'Status':8s} "
+        + " ".join(f"{'@' + str(b):>6s}" for b in budgets)
+        + f" {'First detection':28s} {'Causes':>18s}"
+    )
+    lines = [
+        "Mutation recall (repro mutate)",
+        header,
+        "-" * len(header),
+    ]
+    for outcome in report.outcomes:
+        per_budget = " ".join(
+            f"{'yes' if outcome.detected.get(b) else 'no':>6s}"
+            for b in budgets
+        )
+        first = next(
+            (
+                entry for b in budgets
+                if (entry := outcome.first_detection.get(b)) is not None
+            ),
+            None,
+        )
+        first_text = "-" if first is None else f"#{first[0]} {first[1]}"
+        if outcome.new_cause_buckets is None:
+            causes = "-"
+        else:
+            causes = (
+                f"{outcome.new_cause_buckets} new "
+                f"({outcome.new_cause_explanations} expl)"
+                f"/{outcome.total_cause_buckets}"
+            )
+        lines.append(
+            f"{outcome.mutant_id:8s} {outcome.family:12s} "
+            f"{outcome.status:8s} {per_budget} {first_text:28s} "
+            f"{causes:>18s}"
+        )
+    subset = report.expected_subset
+    caught = sum(1 for o in subset if o.status == "caught")
+    lines.append("")
+    lines.append(
+        f"Recall over the expected-caught subset: {caught}/{len(subset)} "
+        f"({100.0 * report.recall:.1f}%)"
+    )
+    if report.baseline_cause_buckets is not None:
+        lines.append(
+            f"Baseline cause buckets at budget "
+            f"{report.convergence_budget}: {report.baseline_cause_buckets}"
+        )
+    return "\n".join(lines)

@@ -67,7 +67,24 @@ def resolve_rows(plan: str, config):
 
 def run_shard(conn, plan: str, config, shard, remaining_seconds,
               journal_path) -> None:
-    """Execute *shard* cell by cell, streaming records to *conn*."""
+    """Execute *shard* cell by cell, streaming records to *conn*.
+
+    ``config.mutants`` crosses the fork boundary inside the pickled
+    config; activating it here (reference-counted, so the per-cell
+    activation inside ``execute_cell`` nests) makes the whole shard —
+    including plan resolution and the shared exploration cache — run
+    under the same mutated semantics as a sequential campaign of the
+    same config (see docs/MUTATION.md).
+    """
+    from repro.mutation import activated
+
+    with activated(getattr(config, "mutants", ())):
+        _run_shard_activated(conn, plan, config, shard, remaining_seconds,
+                             journal_path)
+
+
+def _run_shard_activated(conn, plan: str, config, shard, remaining_seconds,
+                         journal_path) -> None:
     rows = resolve_rows(plan, config)
     deadline = Deadline(remaining_seconds)
     journal = CampaignJournal(journal_path) if journal_path else None

@@ -265,9 +265,26 @@ def run_triage(result, config, triage: TriageConfig, *,
     """Triage one finished campaign; see the package docstring.
 
     ``result`` is the :class:`CampaignResult`, ``config`` the
-    :class:`CampaignConfig` it ran under (budgets and seeded gaps must
-    match for confirmation to re-create the campaign's conditions).
+    :class:`CampaignConfig` it ran under (budgets, seeded gaps and
+    active mutants must match for confirmation to re-create the
+    campaign's conditions).  The whole pass runs under
+    ``config.mutants``: triage executes in the *parent* process, which
+    — with ``jobs > 1`` — never ran a mutated cell itself, so without
+    this activation confirmation and shrinking would replay against
+    the unmutated semantics and report every seeded defect as
+    ``vanished``.
     """
+    from repro.mutation import activated
+
+    with activated(config.mutants):
+        return _run_triage_activated(result, config, triage,
+                                     journal_path=journal_path,
+                                     resume=resume)
+
+
+def _run_triage_activated(result, config, triage: TriageConfig, *,
+                          journal_path=None,
+                          resume: bool = False) -> TriageReport:
     divergences = collect_divergences(result)
     crashes = collect_crashes(result.quarantine)
     journal = CampaignJournal(journal_path) if journal_path else None

@@ -172,30 +172,41 @@ class TriageLab:
         Returns the :class:`ComparisonResult`, or ``None`` when the
         pipeline itself crashed (a crash is "did not reproduce", never
         a triage failure).
+
+        Runs under the config's active mutants (reference-counted, so
+        the activation the triage engine already holds nests): a trial
+        replayed against unmutated semantics would never reproduce a
+        mutant-seeded defect.
         """
+        from repro.mutation import activated
+
         try:
-            spec = spec_for(candidate.kind, candidate.instruction)
-            tester = DifferentialTester(
-                spec,
-                backend_class_for(candidate.backend)(),
-                compiler_for(candidate.compiler),
-                max_sim_steps=self.config.max_sim_steps,
-                deadline=None,
-                fault_describer_gaps=self.config.fault_describer_gaps,
-            )
-            path = PathResult(
-                instruction=spec.name,
-                kind=spec.kind,
-                constraints=list(constraints),
-                model=model,
-                exit=None,
-                output=None,
-            )
-            return tester.run_path(path)
+            with activated(getattr(self.config, "mutants", ())):
+                return self._trial(candidate, constraints, model)
         except CampaignError:
             return None
         except Exception:
             return None
+
+    def _trial(self, candidate, constraints, model):
+        spec = spec_for(candidate.kind, candidate.instruction)
+        tester = DifferentialTester(
+            spec,
+            backend_class_for(candidate.backend)(),
+            compiler_for(candidate.compiler),
+            max_sim_steps=self.config.max_sim_steps,
+            deadline=None,
+            fault_describer_gaps=self.config.fault_describer_gaps,
+        )
+        path = PathResult(
+            instruction=spec.name,
+            kind=spec.kind,
+            constraints=list(constraints),
+            model=model,
+            exit=None,
+            output=None,
+        )
+        return tester.run_path(path)
 
     def run_cell(self, candidate):
         """One fresh full-cell execution (crash confirmation).

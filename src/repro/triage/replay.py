@@ -74,8 +74,29 @@ class ReplayVerdict:
 
 def replay(expect: dict, model_data: dict, constraints, *,
            max_sim_steps: int = 20_000,
-           fault_describer_gaps: tuple = ()) -> ReplayVerdict:
-    """One standalone interpreter-vs-JIT execution from recorded data."""
+           fault_describer_gaps: tuple = (),
+           mutants: tuple = ()) -> ReplayVerdict:
+    """One standalone interpreter-vs-JIT execution from recorded data.
+
+    ``mutants`` names registry mutants (docs/MUTATION.md) to activate
+    around the execution: a divergence triaged out of a mutated
+    campaign only reproduces under the same mutated semantics, so the
+    emitted reproducer embeds the campaign's mutant tuple and replays
+    it here.
+    """
+    from repro.mutation import activated
+
+    with activated(tuple(mutants)):
+        return _replay_activated(
+            expect, model_data, constraints,
+            max_sim_steps=max_sim_steps,
+            fault_describer_gaps=fault_describer_gaps,
+        )
+
+
+def _replay_activated(expect: dict, model_data: dict, constraints, *,
+                      max_sim_steps: int,
+                      fault_describer_gaps: tuple) -> ReplayVerdict:
     spec = spec_for(expect["kind"], expect["instruction"])
     backend = backend_class_for(expect["backend"])()
     compiler_class = compiler_for(expect["compiler"])

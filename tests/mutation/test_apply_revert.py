@@ -1,0 +1,47 @@
+"""The apply/revert round-trip property (ISSUE satellite 3).
+
+For *every* registered mutant: run a full (scoped) campaign with the
+mutant active, then re-run the unmutated campaign and require its
+report to be **byte-identical** to the pre-mutation baseline.  This is
+the acceptance criterion that makes the mutation engine safe to embed
+in a long-lived process: no operator may leak state past its
+activation, not even after a whole campaign ran under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.difftest.runner import CampaignConfig, run_campaign
+from repro.jit.machine.x86 import X86Backend
+from repro.mutation import all_ids
+from repro.mutation.recall import campaign_fingerprint
+
+#: One bytecode (exercises all three bytecode front-ends) plus one
+#: native primitive (exercises the native template compiler), small
+#: path budget: every operator family gets executed, cheaply.
+SCOPE = CampaignConfig(
+    only=("bytecodePrimAdd", "primitiveAdd"),
+    backends=(X86Backend,),
+    max_paths_per_instruction=4,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_fingerprint():
+    return campaign_fingerprint(run_campaign(SCOPE))
+
+
+@pytest.mark.parametrize("mutant_id", all_ids())
+def test_campaign_report_identical_after_apply_revert(
+    mutant_id, baseline_fingerprint
+):
+    # Run the whole campaign under the mutant (activation happens
+    # inside execute_cell, driven by config.mutants)...
+    run_campaign(replace(SCOPE, mutants=(mutant_id,)))
+    # ...then the unmutated campaign must be byte-identical to the
+    # baseline taken before any mutant was ever applied.
+    after = campaign_fingerprint(run_campaign(SCOPE))
+    assert after == baseline_fingerprint

@@ -1,0 +1,88 @@
+"""CLI surface of the mutation engine (ISSUE satellite 1 + tentpole).
+
+`--fault-describer-gaps` validation: unknown register names used to be
+silently ignored (the simulator derives its getter table by set
+difference, so a typo seeded nothing and reported nothing); now they
+exit with the valid inventory.  Plus the `repro mutate` subcommand:
+inventory listing, argument validation, and one end-to-end tiny sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_fault_describer_gaps
+
+
+class TestFaultDescriberGapValidation:
+    def test_valid_names(self):
+        assert parse_fault_describer_gaps("R10,R11") == ("R10", "R11")
+
+    def test_dedupe_preserves_order(self):
+        assert parse_fault_describer_gaps("R11,R10,R11,R10") == ("R11", "R10")
+
+    def test_empty(self):
+        assert parse_fault_describer_gaps(None) == ()
+        assert parse_fault_describer_gaps("") == ()
+        assert parse_fault_describer_gaps(" , ") == ()
+
+    def test_unknown_register_exits_with_inventory(self):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_fault_describer_gaps("R10,RR11")
+        message = str(excinfo.value)
+        assert "RR11" in message
+        assert "valid registers" in message
+        assert "R11" in message
+
+    def test_campaign_rejects_unknown_register(self):
+        with pytest.raises(SystemExit, match="BOGUS"):
+            main(["campaign", "--fault-describer-gaps", "BOGUS",
+                  "--only", "pushTrue"])
+
+    def test_campaign_rejects_unknown_mutant(self):
+        with pytest.raises(SystemExit, match="unknown mutant"):
+            main(["campaign", "--mutant", "Z9", "--only", "pushTrue"])
+
+
+class TestMutateCommand:
+    def test_list_inventory(self, capsys):
+        assert main(["mutate", "--list"]) == 0
+        out = capsys.readouterr().out
+        for mutant_id in ("I1", "I2", "I3", "C1", "C2", "C3", "R10", "R11"):
+            assert mutant_id in out
+        gated = [line.split()[0] for line in out.splitlines()
+                 if "[outside CI gate]" in line]
+        assert gated == ["C3", "R11"]
+
+    def test_rejects_unknown_mutant(self):
+        with pytest.raises(SystemExit, match="unknown mutant"):
+            main(["mutate", "--mutant", "R10,RR11"])
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(SystemExit, match="--budgets"):
+            main(["mutate", "--budgets", "4,x"])
+
+    def test_resume_requires_journal_dir(self):
+        with pytest.raises(SystemExit, match="--journal-dir"):
+            main(["mutate", "--resume"])
+
+    def test_tiny_sweep_end_to_end(self, tmp_path, capsys):
+        json_path = tmp_path / "recall.json"
+        code = main([
+            "mutate", "--mutant", "R10",
+            "--only", "primitiveFloatTruncated",
+            "--budgets", "4", "--no-triage",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Mutation recall (repro mutate)" in captured.out
+        assert "Recall over the expected-caught subset: 1/1" in captured.out
+        # Progress lines go to stderr so stdout stays deterministic.
+        assert "mutate:" in captured.err
+        assert "mutate:" not in captured.out
+        payload = json.loads(json_path.read_text())
+        assert payload["recall"] == {"caught": 1, "expected": 1, "rate": 1.0}
+        assert payload["mutants"]["R10"]["status"] == "caught"

@@ -1,0 +1,58 @@
+"""R10/R11 mutant fidelity to ``--fault-describer-gaps`` (satellite 3).
+
+The simulator mutants subsume the historical config knob: a campaign
+run under mutants ``R10, R11`` must reproduce the
+``--fault-describer-gaps R10,R11`` campaign **exactly** — the same
+comparison records byte for byte, and therefore the same historical
+Table 3 rows (the paper's "Simulation Error" family).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.difftest.report import format_table2, format_table3
+from repro.difftest.runner import CampaignConfig, run_campaign
+from repro.mutation.recall import campaign_fingerprint
+
+#: The seeded-flood scenario of tests/triage/test_campaign_triage.py:
+#: the three natives whose faults need R10/R11 in their descriptions.
+SCOPE = ("primitiveFloatTruncated", "primitiveMod", "primitiveConstantFill")
+
+
+@pytest.fixture(scope="module")
+def via_mutants():
+    return run_campaign(CampaignConfig(
+        only=SCOPE, max_paths_per_instruction=16, mutants=("R10", "R11"),
+    ))
+
+
+@pytest.fixture(scope="module")
+def via_config_knob():
+    return run_campaign(CampaignConfig(
+        only=SCOPE, max_paths_per_instruction=16,
+        fault_describer_gaps=("R10", "R11"),
+    ))
+
+
+class TestFidelity:
+    def test_reports_byte_identical(self, via_mutants, via_config_knob):
+        assert campaign_fingerprint(via_mutants) == campaign_fingerprint(
+            via_config_knob
+        )
+
+    def test_table3_rows_identical(self, via_mutants, via_config_knob):
+        assert format_table3(via_mutants) == format_table3(via_config_knob)
+
+    def test_table2_rows_identical(self, via_mutants, via_config_knob):
+        assert format_table2(via_mutants) == format_table2(via_config_knob)
+
+    def test_gap_actually_seeded(self, via_mutants):
+        # The historical defect surfaces as simulation errors — the
+        # mutated campaign must actually differ from a clean one.
+        clean = run_campaign(CampaignConfig(
+            only=SCOPE, max_paths_per_instruction=16,
+        ))
+        assert campaign_fingerprint(via_mutants) != campaign_fingerprint(
+            clean
+        )

@@ -1,0 +1,141 @@
+"""The detection-recall sweep: detection, convergence, determinism.
+
+`run_recall` is the tentpole's measurement half: baseline vs mutated
+campaign fingerprints per budget, plan-order first-detection indices,
+and triage convergence at the top budget.  The sweep's stdout surface
+(and its timing-free JSON) must be byte-identical across ``-j1`` /
+``-jN`` / ``--resume`` — asserted here end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.difftest.runner import CampaignConfig
+from repro.mutation.recall import (
+    campaign_fingerprint,
+    first_divergence,
+    format_recall,
+    run_recall,
+)
+
+
+def _line(instruction="bytecodePrimAdd", compiler="simple", backend="x86",
+          status="SAME"):
+    return json.dumps(
+        {"instruction": instruction, "compiler": compiler,
+         "backend": backend, "status": status},
+        sort_keys=True,
+    )
+
+
+class TestFirstDivergence:
+    def test_identical_reports(self):
+        lines = (_line(), _line(compiler="s2r"))
+        assert first_divergence(lines, lines) is None
+
+    def test_first_deviating_index_and_label(self):
+        baseline = (_line(), _line(compiler="s2r"))
+        mutated = (_line(), _line(compiler="s2r", status="DIFFERENT"))
+        assert first_divergence(baseline, mutated) == (
+            1, "bytecodePrimAdd[s2r/x86]#1",
+        )
+
+    def test_length_mismatch_is_a_divergence(self):
+        baseline = (_line(),)
+        mutated = (_line(), _line(compiler="s2r"))
+        index, label = first_divergence(baseline, mutated)
+        assert index == 1
+        assert label.startswith("bytecodePrimAdd[s2r")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One real sweep: two catchable mutants, one budget, with triage."""
+    config = CampaignConfig(
+        only=("primitiveFloatTruncated", "bytecodePrimLessThan"),
+    )
+    return run_recall(config, ("R10", "C1"), (4,), convergence=True,
+                      confirm_runs=1)
+
+
+class TestSweep:
+    def test_both_mutants_caught(self, sweep):
+        assert [o.status for o in sweep.outcomes] == ["caught", "caught"]
+        assert sweep.recall == 1.0
+
+    def test_first_detection_recorded(self, sweep):
+        for outcome in sweep.outcomes:
+            index, label = outcome.first_detection[4]
+            assert index >= 0
+            assert "[" in label and "#" in label
+
+    def test_convergence_measured_at_top_budget(self, sweep):
+        assert sweep.convergence_budget == 4
+        assert sweep.baseline_cause_buckets is not None
+        for outcome in sweep.outcomes:
+            assert outcome.new_cause_buckets >= 1
+            assert 1 <= outcome.new_cause_explanations
+            assert outcome.new_cause_explanations <= outcome.new_cause_buckets
+
+    def test_seeded_defect_collapses_to_few_explanations(self, sweep):
+        # The convergence target: one seeded defect, ideally one
+        # explanation (the CI gate allows two).
+        for outcome in sweep.outcomes:
+            assert outcome.new_cause_explanations <= 2
+
+    def test_to_dict_shape(self, sweep):
+        payload = sweep.to_dict()
+        assert payload["recall"] == {"caught": 2, "expected": 2, "rate": 1.0}
+        assert payload["budgets"] == [4]
+        r10 = payload["mutants"]["R10"]
+        assert r10["status"] == "caught"
+        assert r10["detected"] == {"4": True}
+        assert "seconds" not in r10  # timing only when asked for
+        assert "seconds" in sweep.to_dict(include_timing=True)["mutants"]["R10"]
+
+    def test_format_recall_renders(self, sweep):
+        text = format_recall(sweep)
+        assert "Mutation recall (repro mutate)" in text
+        assert "R10" in text and "C1" in text
+        assert "Recall over the expected-caught subset: 2/2 (100.0%)" in text
+
+
+class TestDeterminism:
+    def test_byte_identical_across_jobs_and_resume(self, tmp_path):
+        config = CampaignConfig(only=("primitiveFloatTruncated",))
+        kwargs = dict(budgets=(4,), convergence=False)
+        sequential = run_recall(
+            config, ("R10",), jobs=1,
+            journal_dir=tmp_path / "seq", **kwargs,
+        )
+        parallel = run_recall(
+            config, ("R10",), jobs=2,
+            journal_dir=tmp_path / "par", **kwargs,
+        )
+        resumed = run_recall(
+            config, ("R10",), jobs=1,
+            journal_dir=tmp_path / "seq", resume=True, **kwargs,
+        )
+        reference = sequential.to_dict(include_timing=False)
+        assert parallel.to_dict(include_timing=False) == reference
+        assert resumed.to_dict(include_timing=False) == reference
+        assert (format_recall(sequential) == format_recall(parallel)
+                == format_recall(resumed))
+
+
+class TestBaselineUndisturbed:
+    def test_unmutated_fingerprint_stable_across_a_sweep(self, sweep):
+        # The acceptance criterion from the other side: after a whole
+        # recall sweep (many apply/revert cycles), a fresh unmutated
+        # campaign still fingerprints identically to a fresh one.
+        from repro.difftest.runner import run_campaign
+
+        config = CampaignConfig(
+            only=("bytecodePrimLessThan",), max_paths_per_instruction=4,
+        )
+        first = campaign_fingerprint(run_campaign(config))
+        second = campaign_fingerprint(run_campaign(config))
+        assert first == second

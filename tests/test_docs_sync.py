@@ -9,6 +9,11 @@ adding a campaign flag without documenting it fails here.
 exploration engine: the ablation flag row, every profile counter and
 gauge it names, and every module path it mentions must exist in the
 code.
+
+``docs/MUTATION.md`` promises the same for the mutation engine: every
+``mutate`` flag documented, every ``mutation.*`` counter recorded in
+the source, every mentioned module path real, and the guide reachable
+from its siblings.
 """
 
 from __future__ import annotations
@@ -24,24 +29,33 @@ from repro.cli import build_parser
 ROOT = Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs" / "CAMPAIGN.md"
 EXPLORATION = ROOT / "docs" / "EXPLORATION.md"
+MUTATION = ROOT / "docs" / "MUTATION.md"
 
 
-def campaign_subparser() -> argparse.ArgumentParser:
+def subparser_for(name: str) -> argparse.ArgumentParser:
     parser = build_parser()
     subparsers = next(
         action for action in parser._actions
         if isinstance(action, argparse._SubParsersAction)
     )
-    return subparsers.choices["campaign"]
+    return subparsers.choices[name]
 
 
-def campaign_flags() -> list[str]:
+def campaign_subparser() -> argparse.ArgumentParser:
+    return subparser_for("campaign")
+
+
+def subcommand_flags(name: str) -> list[str]:
     flags = []
-    for action in campaign_subparser()._actions:
+    for action in subparser_for(name)._actions:
         if isinstance(action, argparse._HelpAction):
             continue
         flags.extend(action.option_strings)
     return flags
+
+
+def campaign_flags() -> list[str]:
+    return subcommand_flags("campaign")
 
 
 def test_the_campaign_parser_has_flags():
@@ -139,3 +153,73 @@ def test_exploration_guide_is_cross_linked():
     assert "## 15." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
     walkthrough = (ROOT / "docs" / "WALKTHROUGH.md").read_text(encoding="utf-8")
     assert "## 6." in walkthrough and "path tree" in walkthrough
+
+
+# ----------------------------------------------------------------------
+# docs/MUTATION.md
+
+
+def mutation_text() -> str:
+    return MUTATION.read_text(encoding="utf-8")
+
+
+def mutation_counters() -> list[str]:
+    """Counter/gauge names the mutation guide documents."""
+    return sorted(set(re.findall(r"`(mutation\.[a-z_]+)`", mutation_text())))
+
+
+def mutation_module_paths() -> list[str]:
+    """`src/...py` module paths the mutation guide mentions."""
+    return sorted(set(re.findall(r"`(src/[\w/]+\.py)`", mutation_text())))
+
+
+def test_mutation_guide_introspection_is_not_vacuous():
+    assert len(mutation_counters()) >= 4
+    assert "src/repro/mutation/registry.py" in mutation_module_paths()
+
+
+@pytest.mark.parametrize("flag", subcommand_flags("mutate"))
+def test_mutate_flag_is_documented(flag):
+    assert f"`{flag}" in mutation_text() or f"{flag} " in mutation_text(), (
+        f"{flag} is missing from docs/MUTATION.md — every mutate flag "
+        "must appear in the operator guide"
+    )
+
+
+@pytest.mark.parametrize("name", mutation_counters())
+def test_mutation_counter_exists_in_source(name):
+    sources = (ROOT / "src" / "repro").rglob("*.py")
+    assert any(name in path.read_text(encoding="utf-8") for path in sources), (
+        f"{name} appears in docs/MUTATION.md but nowhere in src/repro"
+    )
+
+
+@pytest.mark.parametrize("path", mutation_module_paths())
+def test_mutation_module_path_exists(path):
+    assert (ROOT / path).exists(), (
+        f"docs/MUTATION.md mentions {path}, which does not exist"
+    )
+
+
+def test_mutation_guide_documents_every_mutant():
+    """Every registered mutant id appears in the operator-corpus table."""
+    from repro.mutation import all_ids
+
+    text = mutation_text()
+    for mutant_id in all_ids():
+        assert f"`{mutant_id}`" in text, (
+            f"mutant {mutant_id} is not documented in docs/MUTATION.md"
+        )
+
+
+def test_mutation_guide_is_cross_linked():
+    """The guide is discoverable from its siblings and the README."""
+    for referrer in (
+        ROOT / "README.md",
+        ROOT / "docs" / "CAMPAIGN.md",
+        ROOT / "docs" / "RESILIENCE.md",
+    ):
+        assert "MUTATION.md" in referrer.read_text(encoding="utf-8"), (
+            f"{referrer.name} does not link to docs/MUTATION.md"
+        )
+    assert "## 16." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
