@@ -24,10 +24,15 @@ from repro.difftest.runner import CampaignConfig
 from repro.mutation.recall import format_recall, run_recall
 
 #: Instructions that exercise every operator family: the R10/R11
-#: describer-gap natives, the inline comparison (C1), the arithmetic
-#: fast path (I1/I2/C2) and the overflowing primitive (I3).
+#: describer-gap natives (R11's fault lives in
+#: primitiveFloatFractionPart's FLOAD), the inline comparison (C1),
+#: the arithmetic fast path (I1/I2/C2) and the overflowing primitive
+#: (I3).  C3 ignores this scope: its sweep runs through the stitched
+#: whole-method corpus (docs/STITCHING.md), derived from the
+#: ``stitch_*`` knobs of the same config.
 SCOPE = (
     "primitiveFloatTruncated",
+    "primitiveFloatFractionPart",
     "primitiveMod",
     "primitiveConstantFill",
     "bytecodePrimLessThan",

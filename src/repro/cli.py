@@ -18,13 +18,19 @@ Subcommands mirror the library's main entry points:
   each registered semantic mutant into the live interpreter / JIT /
   simulator, re-run the campaign, and report recall, time to first
   detection and triage convergence (operator guide: docs/MUTATION.md);
+* ``stitch [--stitch-fragments N] [--stitch-max-methods N]
+  [--stitch-depth N] [--stitch-paths N] [--json PATH]`` — derive and
+  print the stitched whole-method corpus: constraint-compatible path
+  templates chained into ``stitch:`` methods (operator guide:
+  docs/STITCHING.md); ``campaign --stitch`` runs it differentially;
 * ``list [bytecodes|natives|sequences]`` — the instruction inventory;
 * ``disasm <instruction> [--compiler C] [--backend B]`` — machine code
   a compiler generates for an instruction test;
 * ``generate <output_dir> <instruction...>`` — persistent pytest suites.
 
 Instruction names are byte-code encodings (``bytecodePrimAdd``),
-primitives (``primitiveAt``) or sequences (``seq:pushTrue+popStackTop``).
+primitives (``primitiveAt``), sequences (``seq:pushTrue+popStackTop``)
+or stitched methods (``stitch:pushOne+longJump.1+...``).
 """
 
 from __future__ import annotations
@@ -90,7 +96,14 @@ def parse_fault_describer_gaps(text: str | None) -> tuple:
 
 
 def resolve_spec(name: str):
-    """Instruction name -> spec (byte-code, primitive, or sequence)."""
+    """Instruction name -> spec (byte-code, primitive, sequence, stitch)."""
+    if name.startswith("stitch:"):
+        from repro.stitch.spec import stitched_spec_named
+
+        try:
+            return stitched_spec_named(name)
+        except BytecodeError as exc:
+            raise SystemExit(f"bad stitched name: {exc}")
     if name.startswith("seq:"):
         return sequence_spec(*name[4:].split("+"))
     if name.startswith("primitive"):
@@ -143,9 +156,26 @@ def cmd_test(args) -> int:
     return 1 if result.differing_paths else 0
 
 
+def stitch_config_kwargs(args) -> dict:
+    """The ``--stitch-*`` budget knobs as CampaignConfig kwargs.
+
+    Shared by ``campaign``, ``mutate`` and ``stitch`` so the corpus
+    the three subcommands derive from the same flags is identical
+    (see docs/STITCHING.md).
+    """
+    return dict(
+        stitch_fragments=args.stitch_fragments,
+        stitch_max_methods=args.stitch_max_methods,
+        stitch_depth=args.stitch_depth,
+        stitch_paths_per_fragment=args.stitch_paths,
+    )
+
+
 def cmd_campaign(args) -> int:
     from repro.difftest.report import format_quarantine, format_retries
 
+    if args.stitch and args.sequences:
+        raise SystemExit("--stitch and --sequences are mutually exclusive")
     profile = bool(args.profile or args.profile_json)
     gaps = parse_fault_describer_gaps(args.fault_describer_gaps)
     mutants = ()
@@ -165,6 +195,7 @@ def cmd_campaign(args) -> int:
         mutants=mutants,
         profile=profile,
         raw_explorer=args.raw_explorer,
+        **stitch_config_kwargs(args),
     )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
@@ -178,7 +209,12 @@ def cmd_campaign(args) -> int:
         )
     run_kwargs = dict(journal_path=args.journal, resume=args.resume,
                       jobs=args.jobs, triage=triage)
-    if args.sequences:
+    if args.stitch:
+        from repro.difftest.runner import run_stitched_campaign
+
+        reports = run_stitched_campaign(config, **run_kwargs)
+        print(format_table2(reports))
+    elif args.sequences:
         from repro.difftest.runner import run_sequence_campaign
 
         reports = run_sequence_campaign(config, **run_kwargs)
@@ -244,9 +280,14 @@ def cmd_mutate(args) -> int:
 
     if args.list:
         for mutant in MUTANTS.values():
-            gate = "" if mutant.expected_caught else "  [outside CI gate]"
+            notes = []
+            if mutant.corpus != "main":
+                notes.append(f"[{mutant.corpus} corpus]")
+            if not mutant.expected_caught:
+                notes.append("[outside CI gate]")
+            suffix = ("  " + " ".join(notes)) if notes else ""
             print(f"{mutant.id:4s} {mutant.family:12s} "
-                  f"{mutant.description}{gate}")
+                  f"{mutant.description}{suffix}")
         return 0
     mutant_ids = parse_mutants(args.mutant) or None
     try:
@@ -265,6 +306,7 @@ def cmd_mutate(args) -> int:
         backends=tuple(BACKENDS[b] for b in args.backend),
         max_sim_steps=args.max_sim_steps,
         deadline_seconds=args.deadline,
+        **stitch_config_kwargs(args),
     )
 
     def progress(message: str) -> None:
@@ -291,6 +333,28 @@ def cmd_mutate(args) -> int:
         Path(args.json).write_text(json.dumps(
             report.to_dict(include_timing=False), indent=2, sort_keys=True
         ) + "\n")
+    return 0
+
+
+def cmd_stitch(args) -> int:
+    """Derive and print the stitched corpus: ``repro stitch``."""
+    from repro.stitch import (
+        StitchBudget,
+        build_stitched_corpus,
+        format_stitch_report,
+    )
+
+    config = CampaignConfig(**stitch_config_kwargs(args))
+    _specs, report = build_stitched_corpus(StitchBudget.from_config(config))
+    print(format_stitch_report(report))
+    if args.json:
+        import json
+        from dataclasses import asdict
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(asdict(report), indent=2, sort_keys=True) + "\n"
+        )
     return 0
 
 
@@ -368,6 +432,34 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def add_stitch_arguments(parser) -> None:
+    """The shared ``--stitch-*`` budget knobs (docs/STITCHING.md).
+
+    Defaults mirror :class:`repro.stitch.corpus.StitchBudget`; the
+    stitched corpus is a pure function of these four values, so any
+    two subcommands given the same knobs derive the same corpus.
+    """
+    parser.add_argument(
+        "--stitch-fragments", type=int, default=12, metavar="N",
+        help="fragment specs drawn from the sequence corpus to derive "
+             "path templates from (default: 12)",
+    )
+    parser.add_argument(
+        "--stitch-max-methods", type=int, default=24, metavar="N",
+        help="cap on emitted stitched methods, best-scored first "
+             "(default: 24)",
+    )
+    parser.add_argument(
+        "--stitch-depth", type=int, default=2, metavar="N",
+        help="fragments per stitched method: 2 = pairs, 3 = adds "
+             "triples (default: 2)",
+    )
+    parser.add_argument(
+        "--stitch-paths", type=int, default=8, metavar="N",
+        help="curated paths templated per fragment (default: 8)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -403,6 +495,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--sequences", action="store_true",
         help="run the byte-code sequence corpus instead (extension)",
+    )
+    campaign.add_argument(
+        "--stitch", action="store_true",
+        help="run the stitched whole-method corpus instead: "
+             "constraint-compatible path templates chained into "
+             "methods (extension; see docs/STITCHING.md)",
     )
     campaign.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
@@ -473,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the raw profile snapshot as JSON to PATH "
              "(implies --profile)",
     )
+    add_stitch_arguments(campaign)
     campaign.set_defaults(handler=cmd_campaign)
 
     mutate = sub.add_parser(
@@ -537,7 +636,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the recall report as JSON to PATH (deterministic; "
              "no wall-clock fields)",
     )
+    add_stitch_arguments(mutate)
     mutate.set_defaults(handler=cmd_mutate)
+
+    stitch = sub.add_parser(
+        "stitch",
+        help="derive and print the stitched whole-method corpus "
+             "(docs/STITCHING.md)",
+    )
+    add_stitch_arguments(stitch)
+    stitch.add_argument(
+        "--json", metavar="PATH",
+        help="write the stitch report as JSON to PATH (deterministic)",
+    )
+    stitch.set_defaults(handler=cmd_stitch)
 
     listing = sub.add_parser("list", help="instruction inventory")
     listing.add_argument(

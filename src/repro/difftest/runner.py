@@ -169,6 +169,14 @@ class CampaignConfig:
     #: path tree (``campaign --raw-explorer``); ablation only — results
     #: are identical, the tree is just faster.
     raw_explorer: bool = False
+    #: Stitched-corpus budget knobs (``campaign --stitch`` /
+    #: ``repro stitch``; docs/STITCHING.md).  Part of the config so the
+    #: corpus — a deterministic pure function of these four values — is
+    #: re-derived identically by pool workers from the pickled config.
+    stitch_fragments: int = 12
+    stitch_max_methods: int = 24
+    stitch_depth: int = 2
+    stitch_paths_per_fragment: int = 8
 
     def reduced(self) -> "CampaignConfig":
         """The smaller-budget config used for the quarantine retry.
@@ -292,7 +300,7 @@ class ExperimentRow:
     every mode reports through the same plan.
     """
 
-    experiment: str  # journal namespace: "main" | "sequences"
+    experiment: str  # journal namespace: "main" | "sequences" | "stitched"
     label: str  # report row label
     compiler_class: type
     specs: tuple
@@ -326,6 +334,25 @@ def sequence_campaign_rows(config: CampaignConfig) -> list[ExperimentRow]:
     ))
     return [
         ExperimentRow("sequences", f"{compiler_class.name} (sequences)",
+                      compiler_class, specs)
+        for compiler_class in BYTECODE_COMPILERS
+    ]
+
+
+def stitched_campaign_rows(config: CampaignConfig) -> list[ExperimentRow]:
+    """The template-stitched corpus per byte-code compiler.
+
+    The corpus is derived (memoized per budget, mutants suspended) by
+    :func:`repro.stitch.corpus.build_stitched_corpus` — a deterministic
+    pure function of the config's ``stitch_*`` knobs, so parent and
+    pool workers independently resolve identical rows.
+    """
+    from repro.stitch.corpus import StitchBudget, build_stitched_corpus
+
+    specs, _report = build_stitched_corpus(StitchBudget.from_config(config))
+    specs = tuple(_scope_specs(list(specs), config))
+    return [
+        ExperimentRow("stitched", f"{compiler_class.name} (stitched)",
                       compiler_class, specs)
         for compiler_class in BYTECODE_COMPILERS
     ]
@@ -688,6 +715,23 @@ def run_sequence_campaign(
     """
     config = config or CampaignConfig()
     return _run_rows(config, sequence_campaign_rows(config),
+                     journal_path=journal_path, resume=resume, jobs=jobs,
+                     triage=triage)
+
+
+def run_stitched_campaign(
+    config: CampaignConfig | None = None, *,
+    journal_path=None, resume: bool = False, jobs: int = 1, triage=None,
+) -> CampaignResult:
+    """Extension experiment: the template-stitched method corpus.
+
+    Runs whole-method byte-code tests stitched from
+    constraint-compatible fragment paths (docs/STITCHING.md) through
+    the three byte-code compilers, with the same sharding, journaling
+    and triage semantics as the other campaigns.
+    """
+    config = config or CampaignConfig()
+    return _run_rows(config, stitched_campaign_rows(config),
                      journal_path=journal_path, resume=resume, jobs=jobs,
                      triage=triage)
 

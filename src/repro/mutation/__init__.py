@@ -23,6 +23,7 @@ from repro.mutation.registry import (  # noqa: F401
     get,
     parse_mutants,
     register,
+    suspended,
 )
 from repro.mutation import (  # noqa: E402,F401  (registration side effects)
     compiler_ops,

@@ -116,8 +116,11 @@ register(Mutant(
     ),
     install=_install_dropped_spill,
     # Single-instruction tests start from a pre-materialized stack, so
-    # the deferred-entry flush rarely runs with entries pending; this
-    # mutant needs the sequence corpus to matter and is outside the CI
-    # recall gate's known-catchable subset.
-    expected_caught=False,
+    # the deferred-entry flush rarely runs with entries pending.  The
+    # stitched-method corpus (docs/STITCHING.md) exists for exactly
+    # this: a jump-carrying prefix fragment forces a flush at the
+    # stitch boundary while deferred entries are live, and the suffix's
+    # consumption then under-counts — typically a parse-time stack
+    # underflow at compile time, a clean fingerprint delta.
+    corpus="stitched",
 ))

@@ -27,6 +27,15 @@ Every run is a plain :func:`repro.difftest.runner.run_campaign` call
 with ``config.mutants`` set, so parallel sharding, journaling and
 ``--resume`` all work unchanged; with a ``journal_dir`` each
 (phase, budget) pair checkpoints to its own JSONL file.
+
+Mutants declare which corpus can catch them (``Mutant.corpus``): most
+run through the main single-instruction campaign, but defects that
+only fire inside whole methods — C3's dropped spill needs a
+jump-boundary flush with deferred entries pending — are swept through
+the stitched-method corpus instead
+(:func:`repro.difftest.runner.run_stitched_campaign`,
+docs/STITCHING.md).  The sweep runs one baseline per corpus per
+budget and compares every mutant against its own corpus's baseline.
 """
 
 from __future__ import annotations
@@ -107,6 +116,8 @@ class MutantOutcome:
     family: str
     description: str
     expected_caught: bool
+    #: Which corpus swept this mutant ("main" | "stitched").
+    corpus: str = "main"
     #: budget -> the mutated report deviated from the baseline.
     detected: dict = field(default_factory=dict)
     #: budget -> (record index, cell label) of the first deviation.
@@ -140,6 +151,7 @@ class MutantOutcome:
             "family": self.family,
             "description": self.description,
             "expected_caught": self.expected_caught,
+            "corpus": self.corpus,
             "status": self.status,
             "detected": {
                 str(budget): bool(hit)
@@ -171,11 +183,16 @@ class RecallReport:
 
     budgets: tuple
     outcomes: list = field(default_factory=list)
-    #: budget -> comparison-record count of the unmutated baseline.
+    #: budget -> comparison-record count of the unmutated main-corpus
+    #: baseline (absent when no selected mutant uses the main corpus).
     baseline_records: dict = field(default_factory=dict)
     #: Baseline triage cause-bucket count at the convergence budget
     #: (None when convergence was skipped).
     baseline_cause_buckets: int | None = None
+    #: Same accounting for the stitched-method corpus, populated only
+    #: when a selected mutant declares ``corpus="stitched"``.
+    stitched_baseline_records: dict = field(default_factory=dict)
+    stitched_baseline_cause_buckets: int | None = None
     convergence_budget: int | None = None
 
     def outcome(self, mutant_id: str) -> MutantOutcome:
@@ -210,6 +227,13 @@ class RecallReport:
                     for budget, count in sorted(self.baseline_records.items())
                 },
                 "cause_buckets": self.baseline_cause_buckets,
+                "stitched_records": {
+                    str(budget): count
+                    for budget, count
+                    in sorted(self.stitched_baseline_records.items())
+                },
+                "stitched_cause_buckets":
+                    self.stitched_baseline_cause_buckets,
             },
             "convergence_budget": self.convergence_budget,
             "recall": {
@@ -240,10 +264,37 @@ def _cause_digests(triage_report) -> set:
     return {c.signature.digest for c in _all_causes(triage_report)}
 
 
-def _run_one(config: CampaignConfig, *, jobs, journal_dir, resume,
+#: corpus name -> journal phase of its unmutated baseline run.
+_BASELINE_PHASES = {"main": "baseline", "stitched": "baseline-stitched"}
+
+
+def _runner_for(corpus: str):
+    if corpus == "stitched":
+        from repro.difftest.runner import run_stitched_campaign
+
+        return run_stitched_campaign
+    return run_campaign
+
+
+def _corpus_config(config: CampaignConfig, corpus: str) -> CampaignConfig:
+    """Scope ``config.only`` to the entries the corpus can resolve.
+
+    A mixed ``--only`` list (main instruction names plus ``stitch:``
+    method names) would otherwise zero out one corpus or the other;
+    each corpus keeps its own entries, and a corpus whose filter comes
+    up empty runs unrestricted.
+    """
+    stitched = tuple(n for n in config.only if n.startswith("stitch:"))
+    only = stitched if corpus == "stitched" else tuple(
+        n for n in config.only if not n.startswith("stitch:")
+    )
+    return replace(config, only=only)
+
+
+def _run_one(config: CampaignConfig, *, runner, jobs, journal_dir, resume,
              phase: str, budget: int, triage: TriageConfig | None):
     journal_path, exists = _journal_for(journal_dir, phase, budget)
-    return run_campaign(
+    return runner(
         config,
         jobs=jobs,
         journal_path=journal_path,
@@ -292,46 +343,67 @@ def run_recall(
             family=registry.get(mid).family,
             description=registry.get(mid).description,
             expected_caught=registry.get(mid).expected_caught,
+            corpus=registry.get(mid).corpus,
         )
         for mid in ids
     }
     report.outcomes = list(outcomes.values())
+    # One baseline per corpus per budget: only the corpora the selected
+    # mutants actually declare ("main" first, in registration order).
+    corpora = tuple(dict.fromkeys(outcomes[mid].corpus for mid in ids))
 
-    baseline_digests: set = set()
+    baseline_digests: dict = {}
     for budget in budgets:
         measure_convergence = budget == convergence_budget
-        base_config = replace(
-            config, max_paths_per_instruction=budget, mutants=()
-        )
         triage = (
             TriageConfig(confirm_runs=confirm_runs, repro_dir=None,
                          shrink=False, self_verify=False)
             if measure_convergence else None
         )
-        note(f"baseline @ budget {budget}"
-             + (" (+triage)" if triage else ""))
-        baseline = _run_one(base_config, jobs=jobs, journal_dir=journal_dir,
-                            resume=resume, phase="baseline", budget=budget,
-                            triage=triage)
-        baseline_fp = campaign_fingerprint(baseline)
-        report.baseline_records[budget] = len(baseline_fp)
-        if measure_convergence and baseline.triage is not None:
-            baseline_digests = _cause_digests(baseline.triage)
-            report.baseline_cause_buckets = len(baseline_digests)
+        baseline_fps: dict = {}
+        for corpus in corpora:
+            base_config = replace(
+                _corpus_config(config, corpus),
+                max_paths_per_instruction=budget, mutants=(),
+            )
+            phase = _BASELINE_PHASES[corpus]
+            note(f"{phase} @ budget {budget}"
+                 + (" (+triage)" if triage else ""))
+            baseline = _run_one(
+                base_config, runner=_runner_for(corpus), jobs=jobs,
+                journal_dir=journal_dir, resume=resume, phase=phase,
+                budget=budget, triage=triage,
+            )
+            baseline_fps[corpus] = campaign_fingerprint(baseline)
+            records = report.baseline_records if corpus == "main" \
+                else report.stitched_baseline_records
+            records[budget] = len(baseline_fps[corpus])
+            if measure_convergence and baseline.triage is not None:
+                baseline_digests[corpus] = _cause_digests(baseline.triage)
+                if corpus == "main":
+                    report.baseline_cause_buckets = \
+                        len(baseline_digests[corpus])
+                else:
+                    report.stitched_baseline_cause_buckets = \
+                        len(baseline_digests[corpus])
 
         for mid in ids:
             outcome = outcomes[mid]
-            mutant_config = replace(base_config, mutants=(mid,))
+            corpus = outcome.corpus
+            mutant_config = replace(
+                _corpus_config(config, corpus),
+                max_paths_per_instruction=budget, mutants=(mid,),
+            )
             note(f"mutant {mid} @ budget {budget}")
             start = time.perf_counter()
             mutated = _run_one(
-                mutant_config, jobs=jobs, journal_dir=journal_dir,
-                resume=resume, phase=f"mutant-{mid}", budget=budget,
-                triage=triage,
+                mutant_config, runner=_runner_for(corpus), jobs=jobs,
+                journal_dir=journal_dir, resume=resume,
+                phase=f"mutant-{mid}", budget=budget, triage=triage,
             )
             outcome.seconds[budget] = time.perf_counter() - start
             mutated_fp = campaign_fingerprint(mutated)
-            deviation = first_divergence(baseline_fp, mutated_fp)
+            deviation = first_divergence(baseline_fps[corpus], mutated_fp)
             outcome.detected[budget] = deviation is not None
             outcome.first_detection[budget] = deviation
             perf.incr("mutation.runs")
@@ -339,9 +411,10 @@ def run_recall(
                 perf.incr("mutation.detections")
             if measure_convergence and mutated.triage is not None:
                 causes = _all_causes(mutated.triage)
+                known = baseline_digests.get(corpus, set())
                 new = [
                     c for c in causes
-                    if c.signature.digest not in baseline_digests
+                    if c.signature.digest not in known
                 ]
                 outcome.new_cause_buckets = len(new)
                 outcome.total_cause_buckets = len(causes)
@@ -360,7 +433,7 @@ def format_recall(report: RecallReport) -> str:
     """Deterministic text rendering of one recall sweep."""
     budgets = report.budgets
     header = (
-        f"{'Mutant':8s} {'Family':12s} {'Status':8s} "
+        f"{'Mutant':8s} {'Family':12s} {'Corpus':8s} {'Status':8s} "
         + " ".join(f"{'@' + str(b):>6s}" for b in budgets)
         + f" {'First detection':28s} {'Causes':>18s}"
     )
@@ -392,8 +465,8 @@ def format_recall(report: RecallReport) -> str:
             )
         lines.append(
             f"{outcome.mutant_id:8s} {outcome.family:12s} "
-            f"{outcome.status:8s} {per_budget} {first_text:28s} "
-            f"{causes:>18s}"
+            f"{outcome.corpus:8s} {outcome.status:8s} "
+            f"{per_budget} {first_text:28s} {causes:>18s}"
         )
     subset = report.expected_subset
     caught = sum(1 for o in subset if o.status == "caught")
@@ -406,5 +479,11 @@ def format_recall(report: RecallReport) -> str:
         lines.append(
             f"Baseline cause buckets at budget "
             f"{report.convergence_budget}: {report.baseline_cause_buckets}"
+        )
+    if report.stitched_baseline_cause_buckets is not None:
+        lines.append(
+            f"Stitched-corpus baseline cause buckets at budget "
+            f"{report.convergence_budget}: "
+            f"{report.stitched_baseline_cause_buckets}"
         )
     return "\n".join(lines)

@@ -74,6 +74,12 @@ class Mutant:
     #: mutant out — e.g. a register clobber whose phenotype genuinely
     #: spans every generator that uses the register.
     convergence_bound: int | None = 2
+    #: Which campaign corpus detects this mutant: ``"main"`` (the
+    #: regular four-row evaluation) or ``"stitched"`` (the
+    #: template-stitched method corpus, docs/STITCHING.md).  The recall
+    #: sweep runs each mutant against its own corpus, with a matching
+    #: unmutated baseline per corpus.
+    corpus: str = "main"
 
 
 #: id -> Mutant, in registration order (report order).
@@ -163,6 +169,34 @@ def _revert(mutant_id: str) -> None:
             undo, state[1] = state[1], None
             undo()
             perf.incr("mutation.reverted")
+
+
+@contextmanager
+def suspended():
+    """Temporarily revert every active mutant; reapply on exit.
+
+    Reference counts are preserved — only the patches come off — so
+    nesting inside any depth of :func:`activated` is balanced.  Used by
+    stitched-corpus derivation (:mod:`repro.stitch.corpus`): the corpus
+    is a test *asset* and must be derived from unmutated semantics even
+    when the surrounding campaign runs under a mutant, or baseline and
+    mutated campaigns would execute different plans.
+
+    Single-threaded by design (like activation itself): suspending
+    while another thread races ``activated()`` is unsupported.
+    """
+    with _lock:
+        ids = [mid for mid, state in _active.items() if state[0] > 0]
+        for mid in reversed(ids):
+            state = _active[mid]
+            undo, state[1] = state[1], None
+            undo()
+    try:
+        yield
+    finally:
+        with _lock:
+            for mid in ids:
+                _active[mid][1] = MUTANTS[mid].install()
 
 
 @contextmanager

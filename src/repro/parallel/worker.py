@@ -56,12 +56,21 @@ def resolve_rows(plan: str, config):
     independently derive identical rows; shards address into them by
     ``(row_index, spec_index)``.
     """
-    from repro.difftest.runner import campaign_rows, sequence_campaign_rows
+    from repro.difftest.runner import (
+        campaign_rows,
+        sequence_campaign_rows,
+        stitched_campaign_rows,
+    )
 
     if plan == "main":
         return campaign_rows(config)
     if plan == "sequences":
         return sequence_campaign_rows(config)
+    if plan == "stitched":
+        # The stitched corpus is memoized per budget; workers are
+        # forked, so they inherit the parent's memo and resolve the
+        # plan without re-deriving templates (see repro.stitch.corpus).
+        return stitched_campaign_rows(config)
     raise ValueError(f"unknown campaign plan {plan!r}")
 
 

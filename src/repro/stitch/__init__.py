@@ -1,0 +1,37 @@
+"""Template-stitched method campaigns (docs/STITCHING.md).
+
+The sequence corpus (:mod:`repro.concolic.sequences`) tests short
+hand-curated fragments in isolation.  This package multiplies those
+assets combinatorially, in the spirit of template-extraction compiler
+testing (JAttack): every curated concolic path of a fragment becomes a
+:class:`~repro.stitch.templates.PathTemplate` — its path condition as
+*input holes*, its output shape and exit as a *post-state summary* —
+and two fragments are **stitched** into one whole-method test when
+some clean-handoff path of the first can feed some path of the second,
+decided by the existing memoized incremental solver
+(:func:`repro.concolic.solver.solve_with_hint`; no new solver).
+
+The result is a third row family, ``experiment="stitched"``, that runs
+through the same canonical-plan machinery as the main and sequence
+campaigns: the ``-j N`` shard pool, journaling/``--resume``, triage,
+and the mutation recall sweep (the ``C3`` dropped-spill mutant is only
+observable across fragment boundaries and is gated through this
+corpus).  Stitched-corpus generation is a deterministic pure function
+of the budget knobs, so campaign output stays byte-identical across
+``-j1`` / ``-jN`` / ``--resume``.
+"""
+
+from repro.stitch.compat import compatible, shape_literals  # noqa: F401
+from repro.stitch.corpus import (  # noqa: F401
+    StitchBudget,
+    StitchReport,
+    build_stitched_corpus,
+    clear_corpus_memo,
+    format_stitch_report,
+)
+from repro.stitch.spec import (  # noqa: F401
+    StitchedMethodSpec,
+    stitched_spec,
+    stitched_spec_named,
+)
+from repro.stitch.templates import PathTemplate, derive_templates  # noqa: F401

@@ -1,0 +1,115 @@
+"""The compatibility relation: can path *a* feed path *b*?
+
+Two templates stitch when the *output shape* of a clean prefix path
+satisfies the *input constraints* of a suffix path — decided by the
+existing memoized incremental solver, never by a new decision
+procedure.  The query is the conjunction
+
+    suffix.literals  ∧  shape_literals(prefix.out_stack)
+
+solved through :func:`repro.concolic.solver.solve_with_hint` with the
+suffix path's own witness model as the warm-start hint: the hint
+already satisfies every suffix literal, so only the components touched
+by the shape bindings re-solve (and any hint mismatch falls back to a
+full incremental solve — warm-starting changes time, never answers).
+
+The relation is a deliberate over-approximation.  It binds the values
+the prefix *leaves* onto the suffix's entry-stack variables
+(``stack0`` = top) and requires at least that many operands available
+(``stack_size >= len(out_stack)``), but it does not model operands
+below the handoff or heap effects.  That is sound for its purpose:
+stitched specs are re-explored concolically from scratch, so the
+relation only prunes type-incompatible stitches early — it never
+vouches for the final tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import perf
+from repro.concolic.solver import solve_with_hint
+from repro.concolic.terms import (
+    Sort,
+    compare,
+    const,
+    kind_predicate,
+    not_,
+    oop_attribute,
+    var,
+)
+from repro.stitch.templates import FALSE, INT, NIL, TRUE
+
+#: All kind predicates, used to encode the opaque ("object",) shape as
+#: "none of the immediate kinds".
+_KIND_OPS = ("is_small_int", "is_float", "is_nil", "is_true", "is_false")
+
+#: Entry-state variables a suffix path may constrain (the explorer's
+#: materialization naming convention).
+_DATA_VAR = re.compile(r"^(recv|stack\d+|temp\d+)$")
+
+
+def shape_literals(out_stack) -> list:
+    """Encode a prefix's output stack as constraints on a suffix's
+    entry-stack variables (``stack0`` is the top of the entry stack)."""
+    literals = []
+    for depth, token in enumerate(reversed(out_stack)):
+        slot = var(f"stack{depth}", Sort.OOP)
+        kind = token[0]
+        if kind == INT:
+            literals.append(kind_predicate("is_small_int", slot))
+            literals.append(compare(
+                "eq", oop_attribute("int_value_of", slot), const(token[1])
+            ))
+        elif kind in (NIL, TRUE, FALSE):
+            literals.append(kind_predicate(f"is_{kind}", slot))
+        elif kind == "float":
+            literals.append(kind_predicate("is_float", slot))
+        else:  # opaque object: not any immediate kind
+            for op in _KIND_OPS:
+                literals.append(not_(kind_predicate(op, slot)))
+    if out_stack:
+        literals.append(compare(
+            "ge", var("stack_size", Sort.INT), const(len(out_stack))
+        ))
+    return literals
+
+
+def compatible(prefix, suffix, context, *, memo=None) -> bool:
+    """Does some entry state satisfy *suffix* given what *prefix* left?
+
+    ``memo`` (optional dict) caches verdicts by the pair's identity —
+    the prefix's output shape and the suffix path's id — since many
+    prefix paths share one shape.
+    """
+    if not prefix.clean:
+        return False
+    key = None
+    if memo is not None:
+        key = (prefix.out_stack, suffix.fragment_name, suffix.path_index)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+    literals = list(suffix.literals) + shape_literals(prefix.out_stack)
+    perf.incr("stitch.compat_queries")
+    model, _stats = solve_with_hint(literals, context, suffix.model)
+    verdict = model is not None
+    if verdict:
+        perf.incr("stitch.compat_sat")
+    if memo is not None:
+        memo[key] = verdict
+    return verdict
+
+
+def reads_entry_state(template) -> bool:
+    """Does this path constrain the frame's entry values at all?
+
+    Used by the corpus builder's prioritization: a suffix whose path
+    condition mentions ``recv``/``stack{d}``/``temp{i}`` actually
+    engages cross-fragment dataflow, which is where stitching earns
+    its keep.
+    """
+    for literal in template.literals:
+        if any(_DATA_VAR.match(name) for name in literal.var_names()):
+            return True
+    return False

@@ -1,0 +1,82 @@
+"""Stitched whole-method specs: concatenated fragments as one test.
+
+A :class:`StitchedMethodSpec` is a :class:`BytecodeSequenceSpec` whose
+byte-codes came from concatenating compatible fragments.  It inherits
+the sequence machinery wholesale — construction-time validation
+(forward jumps only, no mixed literal frames), method building, the
+bounded interpreter loop — and changes only its identity:
+
+* ``kind`` is ``"stitched"`` so journal keys, triage signatures and
+  report rows distinguish the corpus;
+* ``name`` is ``"stitch:"`` plus ``+``-joined tokens that **encode
+  operand bytes** (``longJump.1``), unlike sequence names which drop
+  them.  Names therefore round-trip: :func:`stitched_spec_named`
+  rebuilds the exact spec from its name, which is what lets triage
+  reproducers and ``--only`` scoping address stitched methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bytecode.opcodes import bytecode_named
+from repro.concolic.sequences import BytecodeSequenceSpec, _encode
+from repro.errors import BytecodeError
+
+
+def _token(bytecode, operands) -> str:
+    if not operands:
+        return bytecode.name
+    return bytecode.name + "." + ".".join(str(op) for op in operands)
+
+
+def _parse_token(token: str) -> tuple:
+    name, *operands = token.split(".")
+    try:
+        bytecode = bytecode_named(name)
+    except BytecodeError:
+        raise BytecodeError(f"unknown byte-code {name!r} in stitched name")
+    try:
+        return (bytecode, *(int(op) for op in operands))
+    except ValueError:
+        raise BytecodeError(f"bad operand bytes in stitched token {token!r}")
+
+
+@dataclass(frozen=True)
+class StitchedMethodSpec(BytecodeSequenceSpec):
+    """A whole-method test stitched from compatible path templates."""
+
+    #: Names of the fragments this method was stitched from, in order
+    #: (informational: reports and ``repro stitch`` provenance).
+    fragments: tuple = ()
+
+    @property
+    def name(self) -> str:
+        return "stitch:" + "+".join(
+            _token(bc, operands) for bc, operands in self.sequence
+        )
+
+    @property
+    def kind(self) -> str:
+        return "stitched"
+
+
+def stitched_spec(entries, fragments=()) -> StitchedMethodSpec:
+    """Build a stitched spec from sequence entries (mnemonics or
+    ``(name, operand, ...)`` tuples), validating like any sequence."""
+    return StitchedMethodSpec(
+        tuple(_encode(entry) for entry in entries),
+        fragments=tuple(fragments),
+    )
+
+
+def stitched_spec_named(name: str) -> StitchedMethodSpec:
+    """Rebuild a stitched spec from its ``stitch:`` name (round-trip)."""
+    if not name.startswith("stitch:"):
+        raise BytecodeError(f"not a stitched-method name: {name!r}")
+    body = name[len("stitch:"):]
+    if not body:
+        raise BytecodeError("empty stitched-method name")
+    return stitched_spec(
+        _parse_token(token) for token in body.split("+")
+    )

@@ -1,0 +1,121 @@
+"""Path templates: curated concolic paths as stitchable units.
+
+A :class:`PathTemplate` summarizes one curated path of a fragment spec
+for stitching purposes:
+
+* the **input holes** — the path condition's literals, exactly as the
+  explorer recorded them (over ``recv``/``stack{d}``/``temp{i}`` entry
+  variables), plus the witness model that realized the path;
+* the **post-state summary** — the exit condition, the final pc, and
+  the *shape* of every value the path left on the operand stack
+  (bottom to top), parsed from the output snapshot's rendered
+  descriptors.
+
+A template is a **clean handoff** when the path ran to the fragment's
+end successfully (exit ``SUCCESS`` at ``pc == byte_size``): only clean
+templates may act as the *prefix* of a stitch, because a return, send
+or failure exit never reaches the suffix.  Shapes are a deliberately
+coarse abstraction — kind plus (for small integers) the concrete value
+— matching exactly what the solver's kind predicates can express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import perf
+from repro.concolic.explorer import ConcolicExplorer
+from repro.difftest.curation import curate_paths
+from repro.interpreter.exits import ExitCondition
+
+#: Shape tokens: ("int", value) | ("float",) | ("nil",) | ("true",)
+#: | ("false",) | ("object",).  Kept as plain tuples so templates stay
+#: hashable and trivially picklable.
+INT, FLOAT, NIL, TRUE, FALSE, OBJECT = (
+    "int", "float", "nil", "true", "false", "object",
+)
+
+
+def shape_of(descriptor) -> tuple:
+    """Parse one output :class:`ValueDescriptor` into a shape token.
+
+    The rendered string is the stable reporting surface
+    (``"int(5)"``, ``"nil"``, ``"float(1.5)"``, ``"Point@0x…"``);
+    anything unrecognized degrades to the opaque ``("object",)`` shape,
+    which only ever *weakens* the compatibility relation.
+    """
+    rendered = descriptor.rendered
+    if rendered.startswith("int(") and rendered.endswith(")"):
+        try:
+            return (INT, int(rendered[4:-1]))
+        except ValueError:
+            return (OBJECT,)
+    if rendered == "nil":
+        return (NIL,)
+    if rendered == "true":
+        return (TRUE,)
+    if rendered == "false":
+        return (FALSE,)
+    if rendered.startswith("float("):
+        return (FLOAT,)
+    return (OBJECT,)
+
+
+@dataclass(frozen=True)
+class PathTemplate:
+    """One curated path of one fragment, summarized for stitching."""
+
+    fragment_name: str
+    #: Index of this path within the fragment's curated path list
+    #: (derivation is deterministic, so the index is a stable id).
+    path_index: int
+    #: The input holes: the path condition as positive literals.
+    literals: tuple
+    #: The witness model that realized this path (warm-start hint for
+    #: compatibility queries).
+    model: object
+    exit_condition: str
+    final_pc: int
+    fragment_size: int
+    #: Shape tokens for the operand stack the path left, bottom -> top.
+    out_stack: tuple
+
+    @property
+    def clean(self) -> bool:
+        """May this path hand off control to a stitched suffix?"""
+        return (
+            self.exit_condition == ExitCondition.SUCCESS.value
+            and self.final_pc == self.fragment_size
+        )
+
+
+def derive_templates(spec, *, max_paths: int, max_iterations: int,
+                     deadline=None) -> tuple:
+    """Explore *spec* and summarize every curated path as a template.
+
+    Exploration is the regular concolic loop at the stitching budget;
+    curation applies the same path filter as the campaign, so every
+    template corresponds to a path the differential tester could run.
+    """
+    exploration = ConcolicExplorer(
+        spec,
+        max_iterations=max_iterations,
+        max_paths=max_paths,
+        deadline=deadline,
+    ).explore()
+    templates = []
+    for index, path in enumerate(curate_paths(exploration.paths)):
+        templates.append(PathTemplate(
+            fragment_name=spec.name,
+            path_index=index,
+            literals=tuple(c.literal for c in path.constraints),
+            model=path.model,
+            exit_condition=path.exit.condition.value,
+            final_pc=path.output.pc,
+            fragment_size=spec.byte_size,
+            out_stack=tuple(shape_of(d) for d in path.output.stack),
+        ))
+    perf.incr("stitch.templates", len(templates))
+    perf.incr("stitch.clean_templates",
+              sum(1 for t in templates if t.clean))
+    return tuple(templates)

@@ -53,6 +53,12 @@ _BACKENDS = {"x86": X86Backend, "arm32": Arm32Backend}
 
 def spec_for(kind: str, instruction: str):
     """Resolve a (kind, instruction-name) pair back to its spec."""
+    if kind == "stitched" or instruction.startswith("stitch:"):
+        # Stitched names encode operand bytes, so the round-trip is
+        # exact (sequence names drop them; see repro.stitch.spec).
+        from repro.stitch.spec import stitched_spec_named
+
+        return stitched_spec_named(instruction)
     if kind == "sequence" or instruction.startswith("seq:"):
         from repro.concolic.sequences import sequence_spec
 

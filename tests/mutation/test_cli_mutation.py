@@ -54,7 +54,10 @@ class TestMutateCommand:
             assert mutant_id in out
         gated = [line.split()[0] for line in out.splitlines()
                  if "[outside CI gate]" in line]
-        assert gated == ["C3", "R11"]
+        assert gated == []
+        stitched = [line.split()[0] for line in out.splitlines()
+                    if "[stitched corpus]" in line]
+        assert stitched == ["C3"]
 
     def test_rejects_unknown_mutant(self):
         with pytest.raises(SystemExit, match="unknown mutant"):

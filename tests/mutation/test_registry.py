@@ -61,12 +61,24 @@ class TestInventory:
         assert [m.id for m in by_family("simulator")] == ["R10", "R11"]
 
     def test_expected_caught_subset(self):
-        # C3 needs the sequence corpus to matter; R11 is latent — no
-        # machine fault in the corpus uses R11 as its base register.
+        # Every mutant now sits inside the CI recall gate: C3 is
+        # caught through the stitched-method corpus and R11 through
+        # primitiveFloatFractionPart's FLOAD fault (docs/MUTATION.md).
         outside_gate = [
             m.id for m in MUTANTS.values() if not m.expected_caught
         ]
-        assert outside_gate == ["C3", "R11"]
+        assert outside_gate == []
+
+    def test_corpus_assignments(self):
+        # C3 is the only mutant swept through the stitched corpus;
+        # everything else runs the main single-instruction campaign.
+        stitched = [
+            m.id for m in MUTANTS.values() if m.corpus == "stitched"
+        ]
+        assert stitched == ["C3"]
+        assert all(
+            m.corpus in ("main", "stitched") for m in MUTANTS.values()
+        )
 
     def test_convergence_bounds(self):
         # The register clobber is the one mutant whose phenotype spans

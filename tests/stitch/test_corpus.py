@@ -1,0 +1,165 @@
+"""Stitched-corpus generation: determinism, budgets, compatibility.
+
+The corpus is a pure function of its ``StitchBudget`` — the property
+every engine (-j1, -jN, --resume) relies on to derive the same plan
+independently.  Hypothesis sweeps the budget space; the suspension
+test pins the subtler invariant that derivation ignores active
+mutants (the corpus is a test asset, the mutant is the system under
+test).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.concolic.sequences import sequence_spec
+from repro.concolic.solver import SolverContext
+from repro.concolic.symbolic_memory import SymbolicObjectMemory
+from repro.memory.bootstrap import bootstrap_memory
+from repro.stitch.compat import compatible, shape_literals
+from repro.stitch.corpus import (
+    StitchBudget,
+    _build,
+    build_stitched_corpus,
+    clear_corpus_memo,
+    format_stitch_report,
+)
+from repro.stitch.spec import stitched_spec_named
+from repro.stitch.templates import derive_templates
+
+
+def _context():
+    memory, _known = bootstrap_memory(
+        heap_words=8 * 1024, memory_class=SymbolicObjectMemory
+    )
+    return SolverContext.from_memory(memory)
+
+
+class TestCompatibility:
+    def test_int_producer_feeds_int_consumer(self):
+        producer = derive_templates(
+            sequence_spec("pushOne", "pushTwo", "bytecodePrimAdd"),
+            max_paths=8, max_iterations=32,
+        )
+        consumer = derive_templates(
+            sequence_spec("duplicateTop", "popStackTop"),
+            max_paths=8, max_iterations=32,
+        )
+        context = _context()
+        clean = [t for t in producer if t.clean]
+        assert clean
+        assert any(
+            compatible(a, b, context) for a in clean for b in consumer
+        )
+
+    def test_unclean_prefix_never_compatible(self):
+        returning = derive_templates(
+            sequence_spec("pushTwo", "returnTop"),
+            max_paths=8, max_iterations=32,
+        )
+        consumer = derive_templates(
+            sequence_spec("duplicateTop", "popStackTop"),
+            max_paths=8, max_iterations=32,
+        )
+        context = _context()
+        for a in returning:
+            for b in consumer:
+                assert not compatible(a, b, context)
+
+    def test_shape_literals_bind_top_of_stack_first(self):
+        literals = shape_literals((("int", 7), ("nil",)))
+        rendered = [str(lit) for lit in literals]
+        # Bottom->top out stack (7, nil): nil is the top => stack0.
+        assert any("stack0" in text and "nil" in text for text in rendered)
+        assert any("stack1" in text for text in rendered)
+        assert any("stack_size" in text for text in rendered)
+
+    def test_empty_out_stack_binds_nothing(self):
+        assert shape_literals(()) == []
+
+
+class TestCorpusDeterminism:
+    # Derivation explores fragments concolically, so give each example
+    # room; the budget space is tiny and fully deterministic.
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        fragments=st.integers(min_value=2, max_value=8),
+        max_methods=st.integers(min_value=1, max_value=12),
+        depth=st.integers(min_value=2, max_value=3),
+        paths=st.integers(min_value=2, max_value=8),
+    )
+    def test_rederivation_is_byte_identical(
+        self, fragments, max_methods, depth, paths
+    ):
+        budget = StitchBudget(
+            fragments=fragments, max_methods=max_methods,
+            depth=depth, paths_per_fragment=paths,
+        )
+        first_specs, first_report = _build(budget)
+        second_specs, second_report = _build(budget)
+        assert [s.name for s in first_specs] == [
+            s.name for s in second_specs
+        ]
+        assert first_report == second_report
+        assert format_stitch_report(first_report) == format_stitch_report(
+            second_report
+        )
+        assert len(first_specs) <= max_methods
+
+    def test_memo_returns_identical_object(self):
+        clear_corpus_memo()
+        first = build_stitched_corpus(StitchBudget(fragments=4))
+        second = build_stitched_corpus(StitchBudget(fragments=4))
+        assert first is second
+        clear_corpus_memo()
+
+    def test_derivation_ignores_active_mutants(self):
+        # The invariant behind per-corpus recall baselines: an active
+        # mutant (here an interpreter mutant, which would perturb
+        # exploration) must not change the derived corpus.
+        from repro.mutation import activated
+
+        budget = StitchBudget(fragments=8, max_methods=8)
+        plain_specs, plain_report = _build(budget)
+        with activated(("I1",)):
+            mutated_specs, mutated_report = _build(budget)
+        assert [s.name for s in plain_specs] == [
+            s.name for s in mutated_specs
+        ]
+        assert plain_report == mutated_report
+
+
+class TestCorpusContent:
+    def test_default_corpus_carries_a_jump_prefix(self):
+        # The C3 detection mechanics require a jump-carrying prefix
+        # (flush at the stitch boundary with deferred entries pending);
+        # relevance scoring must keep one inside the default cap.
+        specs, report = build_stitched_corpus()
+        assert report.emitted
+        assert any("Jump" in name or "longJump" in name
+                   for name in report.emitted)
+
+    def test_every_emitted_name_round_trips(self):
+        specs, report = build_stitched_corpus()
+        for spec in specs:
+            rebuilt = stitched_spec_named(spec.name)
+            assert rebuilt.name == spec.name
+            assert rebuilt.sequence == spec.sequence
+            assert rebuilt.kind == "stitched"
+
+    def test_report_provenance_is_aligned(self):
+        specs, report = build_stitched_corpus()
+        assert len(report.template_counts) == len(report.fragment_names)
+        assert len(report.clean_counts) == len(report.fragment_names)
+        for clean, total in zip(report.clean_counts,
+                                report.template_counts):
+            assert 0 <= clean <= total
+        assert tuple(s.name for s in specs) == report.emitted
+        for spec in specs:
+            # Fragment provenance names resolve back into the corpus.
+            assert len(spec.fragments) >= 2

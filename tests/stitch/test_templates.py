@@ -1,0 +1,70 @@
+"""Path templates: shape parsing, derivation, clean-handoff flags.
+
+The template layer is the stitching tentpole's foundation: every
+curated concolic path of a fragment becomes a ``PathTemplate`` whose
+input holes are the path condition and whose post-state summary is
+the rendered output-stack shapes (docs/STITCHING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.concolic.sequences import sequence_spec
+from repro.stitch.templates import derive_templates, shape_of
+
+
+@dataclass
+class _Descriptor:
+    rendered: str
+
+
+class TestShapeOf:
+    @pytest.mark.parametrize("rendered, shape", [
+        ("int(5)", ("int", 5)),
+        ("int(-3)", ("int", -3)),
+        ("nil", ("nil",)),
+        ("true", ("true",)),
+        ("false", ("false",)),
+        ("float(1.5)", ("float",)),
+        ("Point@0x1a40", ("object",)),
+        ("Array@0x2000", ("object",)),
+    ])
+    def test_rendered_to_shape(self, rendered, shape):
+        assert shape_of(_Descriptor(rendered)) == shape
+
+    def test_unparseable_int_degrades_to_object(self):
+        # Degrading only weakens the compatibility relation; it never
+        # invents a constraint the suffix could rely on.
+        assert shape_of(_Descriptor("int(?)")) == ("object",)
+
+
+class TestDeriveTemplates:
+    def test_straightline_producer_is_clean(self):
+        spec = sequence_spec("pushOne", "pushTwo", "bytecodePrimAdd")
+        templates = derive_templates(spec, max_paths=8, max_iterations=32)
+        assert templates, "producer fragment explored no paths"
+        clean = [t for t in templates if t.clean]
+        assert clean, "a straight-line producer must hand off cleanly"
+        # The handoff carries the produced value's shape: 1 + 2 = 3.
+        assert any(t.out_stack == (("int", 3),) for t in clean)
+        for template in templates:
+            assert template.fragment_name == spec.name
+            assert template.fragment_size == spec.byte_size
+
+    def test_returning_fragment_is_never_clean(self):
+        spec = sequence_spec("pushTwo", "returnTop")
+        templates = derive_templates(spec, max_paths=8, max_iterations=32)
+        assert templates
+        # A return exits the method: control never reaches a suffix.
+        assert not any(t.clean for t in templates)
+
+    def test_templates_are_indexed_in_curation_order(self):
+        spec = sequence_spec("duplicateTop", "popStackTop")
+        templates = derive_templates(spec, max_paths=8, max_iterations=32)
+        assert templates
+        assert [t.path_index for t in templates] == list(
+            range(len(templates))
+        )

@@ -14,6 +14,19 @@ code.
 ``mutate`` flag documented, every ``mutation.*`` counter recorded in
 the source, every mentioned module path real, and the guide reachable
 from its siblings.
+
+``docs/STITCHING.md`` promises the same for the stitching layer:
+every ``stitch`` flag (the ``stitch`` subcommand's own plus the
+``--stitch-*`` knobs on ``campaign``/``mutate``) documented, every
+``stitch.*`` counter recorded, every module path real, and the guide
+cross-linked from ``README.md``, CAMPAIGN.md, MUTATION.md and
+``DESIGN.md`` §17.
+
+``docs/INDEX.md`` is the architecture map: every ``docs/*.md`` guide
+and every ``src/repro/*`` package must appear in it.  Finally, a
+repo-wide sweep asserts that *no* guide (nor ``DESIGN.md`` /
+``ROADMAP.md``) mentions a ``src/...py`` module path that does not
+exist — the stale-reference class of drift.
 """
 
 from __future__ import annotations
@@ -30,6 +43,8 @@ ROOT = Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs" / "CAMPAIGN.md"
 EXPLORATION = ROOT / "docs" / "EXPLORATION.md"
 MUTATION = ROOT / "docs" / "MUTATION.md"
+STITCHING = ROOT / "docs" / "STITCHING.md"
+INDEX = ROOT / "docs" / "INDEX.md"
 
 
 def subparser_for(name: str) -> argparse.ArgumentParser:
@@ -223,3 +238,149 @@ def test_mutation_guide_is_cross_linked():
             f"{referrer.name} does not link to docs/MUTATION.md"
         )
     assert "## 16." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# docs/STITCHING.md
+
+
+def stitching_text() -> str:
+    return STITCHING.read_text(encoding="utf-8")
+
+
+def stitch_flags() -> list[str]:
+    """Every stitch-related flag in the CLI: the ``stitch``
+    subcommand's own flags plus the shared ``--stitch*`` budget knobs
+    on ``campaign`` (identical on ``mutate`` — both call
+    ``add_stitch_arguments``)."""
+    flags = list(subcommand_flags("stitch"))
+    flags.extend(f for f in campaign_flags() if f.startswith("--stitch"))
+    return sorted(set(flags))
+
+
+def stitch_counters() -> list[str]:
+    """Counter/gauge names the stitching guide documents."""
+    return sorted(set(re.findall(r"`(stitch\.[a-z_]+)`", stitching_text())))
+
+
+def stitch_module_paths() -> list[str]:
+    """`src/...py` module paths the stitching guide mentions."""
+    return sorted(set(re.findall(r"`(src/[\w/]+\.py)`", stitching_text())))
+
+
+def test_stitching_guide_introspection_is_not_vacuous():
+    assert len(stitch_counters()) >= 5
+    assert "src/repro/stitch/corpus.py" in stitch_module_paths()
+    assert "--stitch" in stitch_flags()
+    assert "--stitch-depth" in stitch_flags()
+
+
+@pytest.mark.parametrize("flag", stitch_flags())
+def test_stitch_flag_is_documented(flag):
+    assert f"`{flag}" in stitching_text() or f"{flag} " in stitching_text(), (
+        f"{flag} is missing from docs/STITCHING.md — every stitch flag "
+        "must appear in the operator guide"
+    )
+
+
+@pytest.mark.parametrize("name", stitch_counters())
+def test_stitch_counter_exists_in_source(name):
+    sources = (ROOT / "src" / "repro").rglob("*.py")
+    assert any(name in path.read_text(encoding="utf-8") for path in sources), (
+        f"{name} appears in docs/STITCHING.md but nowhere in src/repro"
+    )
+
+
+@pytest.mark.parametrize("path", stitch_module_paths())
+def test_stitch_module_path_exists(path):
+    assert (ROOT / path).exists(), (
+        f"docs/STITCHING.md mentions {path}, which does not exist"
+    )
+
+
+def test_stitching_guide_is_cross_linked():
+    """The guide is discoverable from its siblings, the README and
+    the promised DESIGN.md §17."""
+    for referrer in (
+        ROOT / "README.md",
+        ROOT / "docs" / "CAMPAIGN.md",
+        ROOT / "docs" / "MUTATION.md",
+    ):
+        assert "STITCHING.md" in referrer.read_text(encoding="utf-8"), (
+            f"{referrer.name} does not link to docs/STITCHING.md"
+        )
+    assert "## 17." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# docs/INDEX.md — the architecture map
+
+
+def index_text() -> str:
+    return INDEX.read_text(encoding="utf-8")
+
+
+def repro_packages() -> list[str]:
+    """Every package directory under src/repro/."""
+    return sorted(
+        path.name
+        for path in (ROOT / "src" / "repro").iterdir()
+        if path.is_dir() and (path / "__init__.py").exists()
+    )
+
+
+def test_index_introspection_is_not_vacuous():
+    assert len(repro_packages()) >= 10
+    assert "stitch" in repro_packages()
+
+
+@pytest.mark.parametrize(
+    "guide", sorted(p.name for p in (ROOT / "docs").glob("*.md"))
+)
+def test_every_guide_appears_in_the_index(guide):
+    assert guide in index_text(), (
+        f"docs/{guide} is not mapped in docs/INDEX.md — every guide "
+        "must appear in the index"
+    )
+
+
+@pytest.mark.parametrize("package", repro_packages())
+def test_every_package_appears_in_the_index(package):
+    assert f"src/repro/{package}/" in index_text(), (
+        f"src/repro/{package}/ is not mapped in docs/INDEX.md — every "
+        "package must appear in the architecture map"
+    )
+
+
+def test_index_is_linked_from_the_readme():
+    assert "INDEX.md" in (ROOT / "README.md").read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Repo-wide stale-module-path sweep
+
+
+def documented_module_paths() -> list[tuple[str, str]]:
+    """Every `src/...py` mention across all guides + top-level docs."""
+    sources = sorted((ROOT / "docs").glob("*.md"))
+    sources.extend([ROOT / "DESIGN.md", ROOT / "ROADMAP.md"])
+    mentions = set()
+    for doc in sources:
+        for path in re.findall(r"`(src/[\w/]+\.py)`",
+                               doc.read_text(encoding="utf-8")):
+            mentions.add((doc.name, path))
+    return sorted(mentions)
+
+
+def test_stale_path_sweep_is_not_vacuous():
+    paths = {path for _, path in documented_module_paths()}
+    assert "src/repro/memory/heap.py" in paths
+    assert len(paths) >= 8
+
+
+@pytest.mark.parametrize("doc, path", documented_module_paths())
+def test_documented_module_path_exists(doc, path):
+    assert (ROOT / path).exists(), (
+        f"{doc} mentions {path}, which does not exist — stale module "
+        "reference"
+    )
