@@ -8,16 +8,22 @@ Subcommands mirror the library's main entry points:
 * ``campaign [--max-bytecodes N] [--max-natives N] [--only NAME] [-j N]
   [--deadline S] [--journal PATH] [--resume] [--fail-fast]
   [--triage] [--confirm-runs N] [--repro-dir DIR] [--profile]
-  [--profile-json PATH] [--raw-explorer]`` — the full Table 2/3
-  evaluation, with parallel sharding, wall-clock budgeting,
-  checkpoint/resume, cache/solver profiling, and defect triage with
-  standalone reproducer emission (operator guides: docs/CAMPAIGN.md,
-  docs/EXPLORATION.md, docs/PERFORMANCE.md, docs/TRIAGE.md);
+  [--profile-json PATH] [--raw-explorer] [--cache-dir DIR]
+  [--no-cache]`` — the full Table 2/3 evaluation, with parallel
+  sharding (work-stealing), wall-clock budgeting, checkpoint/resume,
+  cache/solver profiling, the persistent cross-run result cache, and
+  defect triage with standalone reproducer emission (operator guides:
+  docs/CAMPAIGN.md, docs/EXPLORATION.md, docs/PERFORMANCE.md,
+  docs/TRIAGE.md, docs/INCREMENTAL.md);
 * ``mutate [--mutant ID] [--budgets N,N] [-j N] [--journal-dir DIR]
-  [--resume] [--json PATH]`` — the detection-recall benchmark: seed
-  each registered semantic mutant into the live interpreter / JIT /
-  simulator, re-run the campaign, and report recall, time to first
-  detection and triage convergence (operator guide: docs/MUTATION.md);
+  [--resume] [--json PATH] [--cache-dir DIR] [--no-cache]`` — the
+  detection-recall benchmark: seed each registered semantic mutant
+  into the live interpreter / JIT / simulator, re-run the campaign,
+  and report recall, time to first detection and triage convergence
+  (operator guide: docs/MUTATION.md); the result cache reuses
+  baseline cells a mutant does not touch across the sweep;
+* ``cache [--cache-dir DIR] [--gc] [--clear]`` — inspect, compact or
+  delete the persistent result store (docs/INCREMENTAL.md);
 * ``stitch [--stitch-fragments N] [--stitch-max-methods N]
   [--stitch-depth N] [--stitch-paths N] [--json PATH]`` — derive and
   print the stitched whole-method corpus: constraint-compatible path
@@ -171,6 +177,36 @@ def stitch_config_kwargs(args) -> dict:
     )
 
 
+def resolve_cache_dir(args):
+    """The persistent result store directory for this invocation.
+
+    ``--no-cache`` disables the store outright; ``--cache-dir`` pins
+    it; otherwise the default (``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro``) is used — the cache is on by default for the
+    CLI because its hits are byte-identical to live execution
+    (docs/INCREMENTAL.md) and cold runs merely populate it.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    from repro.incremental import default_cache_dir
+
+    return default_cache_dir()
+
+
+def print_cache_stats(stats) -> None:
+    """One stdout stats line (CI-parseable) + stderr degradation note."""
+    if stats is None:
+        return
+    print(
+        f"\nresult cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.stale} stale) -- hit rate {stats.hit_rate * 100:.1f}%"
+    )
+    if stats.warning:
+        print(f"warning: {stats.warning}", file=sys.stderr)
+
+
 def cmd_campaign(args) -> int:
     from repro.difftest.report import format_quarantine, format_retries
 
@@ -208,7 +244,8 @@ def cmd_campaign(args) -> int:
             repro_dir=args.repro_dir,
         )
     run_kwargs = dict(journal_path=args.journal, resume=args.resume,
-                      jobs=args.jobs, triage=triage)
+                      jobs=args.jobs, triage=triage,
+                      cache_dir=resolve_cache_dir(args))
     if args.stitch:
         from repro.difftest.runner import run_stitched_campaign
 
@@ -254,6 +291,7 @@ def cmd_campaign(args) -> int:
             f"\n{reports.workers} workers; exploration cache "
             f"{reports.cache_hits} hits / {reports.cache_misses} misses"
         )
+    print_cache_stats(reports.cache)
     if reports.resumed_cells:
         print(f"\nresumed {reports.resumed_cells} cells from {args.journal}")
     if reports.triage is not None and reports.triage.reused_causes:
@@ -324,6 +362,7 @@ def cmd_mutate(args) -> int:
         convergence=not args.no_triage,
         confirm_runs=args.confirm_runs,
         progress=progress,
+        cache_dir=resolve_cache_dir(args),
     )
     print(format_recall(report))
     if args.json:
@@ -333,6 +372,41 @@ def cmd_mutate(args) -> int:
         Path(args.json).write_text(json.dumps(
             report.to_dict(include_timing=False), indent=2, sort_keys=True
         ) + "\n")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect, compact or delete the result store: ``repro cache``."""
+    from repro.incremental import CACHE_VERSION, ResultStore, default_cache_dir
+
+    directory = args.cache_dir or default_cache_dir()
+    store = ResultStore(directory)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} store file(s) from {directory}")
+        return 0
+    if args.gc:
+        summary = store.gc()
+        removed = summary["removed_files"]
+        print(
+            f"compacted to {summary['entries']} entries; removed "
+            f"{len(removed)} stale/corrupt file(s); reclaimed "
+            f"{summary['reclaimed_bytes']} bytes"
+        )
+        for name in removed:
+            print(f"  removed {name}")
+        return 0
+    store.load()
+    print(f"cache directory: {directory}")
+    print(f"cache version:   {CACHE_VERSION}")
+    print(f"entries:         {store.stats.entries}")
+    if store.stats.corrupt_lines:
+        print(f"corrupt lines:   {store.stats.corrupt_lines} (skipped)")
+    for path, kind in store.files():
+        size = path.stat().st_size
+        print(f"  {kind:8s} {path.name}  {size} bytes")
+    if store.stats.warning:
+        print(f"warning: {store.stats.warning}", file=sys.stderr)
     return 0
 
 
@@ -460,6 +534,25 @@ def add_stitch_arguments(parser) -> None:
     )
 
 
+def add_cache_arguments(parser) -> None:
+    """The shared result-cache knobs (docs/INCREMENTAL.md).
+
+    The persistent store is *on by default* for campaign-running
+    subcommands: hits are byte-identical to live execution, so the
+    only observable effect of the cache is wall-clock.
+    """
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent result store directory (default: "
+             "$REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result store: neither read nor "
+             "write cached cell results",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -572,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(implies --profile)",
     )
     add_stitch_arguments(campaign)
+    add_cache_arguments(campaign)
     campaign.set_defaults(handler=cmd_campaign)
 
     mutate = sub.add_parser(
@@ -637,7 +731,29 @@ def build_parser() -> argparse.ArgumentParser:
              "no wall-clock fields)",
     )
     add_stitch_arguments(mutate)
+    add_cache_arguments(mutate)
     mutate.set_defaults(handler=cmd_mutate)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, compact or delete the persistent result store "
+             "(docs/INCREMENTAL.md)",
+    )
+    cache.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="store directory to operate on (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--gc", action="store_true",
+        help="compact the current store file (last-wins dedup) and "
+             "delete stale-version and quarantined files",
+    )
+    cache.add_argument(
+        "--clear", action="store_true",
+        help="delete every store file in the cache directory",
+    )
+    cache.set_defaults(handler=cmd_cache)
 
     stitch = sub.add_parser(
         "stitch",

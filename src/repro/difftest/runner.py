@@ -382,6 +382,11 @@ class CampaignResult(list):
         #: Exploration-cache effectiveness over the whole run.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Cells served from the persistent cross-run result store
+        #: (docs/INCREMENTAL.md), and the store's
+        #: :class:`repro.incremental.CacheStats` (None = cache off).
+        self.cached_cells = 0
+        self.cache = None
         #: Perf snapshot dict when the run was profiled, else None.
         self.perf = None
         #: :class:`repro.triage.TriageReport` when the run was triaged
@@ -426,7 +431,8 @@ class _CampaignContext:
     """Shared mutable state of one campaign run."""
 
     def __init__(self, config: CampaignConfig, journal_path=None,
-                 resume: bool = False):
+                 resume: bool = False, cached=None, store=None,
+                 fingerprints=None):
         self.config = config
         self.deadline = Deadline(config.deadline_seconds)
         self.quarantine = Quarantine()
@@ -440,6 +446,13 @@ class _CampaignContext:
         )
         self.resumed_cells = 0
         self.budget_exhausted = False
+        #: Persistent result-store state (docs/INCREMENTAL.md): records
+        #: already served by fingerprint, the store for write-back, and
+        #: the plan's key -> fingerprint map.
+        self.cached = cached or {}
+        self.store = store
+        self.fingerprints = fingerprints or {}
+        self.cached_cells = 0
 
 
 def _backend_scope(config: CampaignConfig) -> str:
@@ -598,6 +611,14 @@ def _run_experiment(ctx: _CampaignContext, row: ExperimentRow) -> CompilerReport
                     QuarantineEntry.from_dict(record["quarantined"])
                 )
             continue
+        cached = ctx.cached.get(key)
+        if cached is not None:
+            # Served from the persistent result store: rebuilt by the
+            # same machinery as a journal-resumed cell, so aggregate
+            # reports are byte-identical to a cold run.
+            _accumulate(report, _rebuild_cell(cached))
+            ctx.cached_cells += 1
+            continue
         try:
             result, error = execute_cell(ctx.config, ctx.deadline, spec,
                                          compiler_class, ctx.explorations)
@@ -620,8 +641,19 @@ def _run_experiment(ctx: _CampaignContext, row: ExperimentRow) -> CompilerReport
             ctx.quarantine.add(entry)
             result = _crashed_result(spec, compiler_class, ctx.config, error)
         _accumulate(report, result)
+        record = _serialize_cell(key, result, entry)
         if ctx.journal is not None:
-            ctx.journal.append(_serialize_cell(key, result, entry))
+            ctx.journal.append(record)
+        if (ctx.store is not None and error is None
+                and getattr(result, "retries", 0) == 0
+                and not getattr(result.exploration, "budget_exhausted",
+                                False)):
+            # Only clean first-attempt cells with a complete exploration
+            # enter the cross-run store; quarantines, retried cells and
+            # budget-truncated explorations always re-run.
+            fingerprint = ctx.fingerprints.get(key)
+            if fingerprint:
+                ctx.store.put(fingerprint, record)
     return report
 
 
@@ -630,6 +662,7 @@ def _finish(result: CampaignResult, ctx: _CampaignContext,
     result.quarantine = ctx.quarantine
     result.budget_exhausted = ctx.budget_exhausted
     result.resumed_cells = ctx.resumed_cells
+    result.cached_cells = ctx.cached_cells
     result.journal_path = journal_path
     result.cache_hits = ctx.explorations.hits
     result.cache_misses = ctx.explorations.misses
@@ -638,13 +671,35 @@ def _finish(result: CampaignResult, ctx: _CampaignContext,
 
 def _run_rows(config: CampaignConfig, rows: list[ExperimentRow], *,
               journal_path, resume: bool, jobs: int,
-              triage=None) -> CampaignResult:
-    """Dispatch a canonical plan to the sequential or parallel engine."""
+              triage=None, cache_dir=None) -> CampaignResult:
+    """Dispatch a canonical plan to the sequential or parallel engine.
+
+    With *cache_dir* set, the persistent result store is consulted
+    *before* engine dispatch: every plan cell is fingerprinted
+    (:mod:`repro.incremental.fingerprint`) and hits are injected as
+    pre-completed records into whichever engine runs — a fully-warm
+    parallel campaign therefore forks zero workers.
+    """
+    if config.profile:
+        perf.enable()
+    store = None
+    fingerprints: dict = {}
+    cached_records: dict = {}
+    if cache_dir:
+        from repro.incremental import ResultStore, plan_fingerprints
+
+        store = ResultStore(str(cache_dir))
+        store.load()
+        fingerprints = plan_fingerprints(rows, config)
+        for key, fingerprint in fingerprints.items():
+            cached = store.get(fingerprint, key)
+            if cached is not None:
+                cached_records[key] = cached
     if jobs is None or jobs == 1:
-        if config.profile:
-            perf.enable()
         try:
-            ctx = _CampaignContext(config, journal_path, resume)
+            ctx = _CampaignContext(config, journal_path, resume,
+                                   cached=cached_records, store=store,
+                                   fingerprints=fingerprints)
             result = CampaignResult()
             for row in rows:
                 result.append(_run_experiment(ctx, row))
@@ -657,8 +712,23 @@ def _run_rows(config: CampaignConfig, rows: list[ExperimentRow], *,
     else:
         from repro.parallel.pool import run_parallel_rows
 
-        result = run_parallel_rows(config, rows, jobs=jobs,
-                                   journal_path=journal_path, resume=resume)
+        try:
+            result = run_parallel_rows(config, rows, jobs=jobs,
+                                       journal_path=journal_path,
+                                       resume=resume, cached=cached_records,
+                                       fingerprints=fingerprints,
+                                       cache_dir=cache_dir)
+            if config.profile:
+                # Cache lookups happen in the parent; fold its counters
+                # into the workers' merged snapshot.
+                result.perf = perf.merge_snapshots(
+                    [result.perf or {}, perf.snapshot() or {}]
+                )
+        finally:
+            if config.profile:
+                perf.disable()
+    if store is not None:
+        result.cache = store.stats
     if triage is not None:
         # Triage always runs in the parent process, over the serialized
         # cell records both engines produce, so confirmation/shrinking
@@ -683,7 +753,8 @@ def _capture_perf(result: CampaignResult) -> dict:
 
 def run_campaign(config: CampaignConfig | None = None, *,
                  journal_path=None, resume: bool = False,
-                 jobs: int = 1, triage=None) -> CampaignResult:
+                 jobs: int = 1, triage=None,
+                 cache_dir=None) -> CampaignResult:
     """The full four-experiment evaluation (paper Table 2).
 
     Returns one report per compiler: native methods first, then the
@@ -696,16 +767,21 @@ def run_campaign(config: CampaignConfig | None = None, *,
     :class:`repro.triage.TriageConfig` to confirm/shrink/dedup the
     run's divergences and emit standalone reproducers
     (``result.triage`` carries the :class:`~repro.triage.TriageReport`).
+    ``cache_dir`` attaches the persistent cross-run result store
+    (docs/INCREMENTAL.md): semantically-unchanged cells are served from
+    it instead of re-run, and ``result.cache`` carries the
+    :class:`~repro.incremental.CacheStats`.
     """
     config = config or CampaignConfig()
     return _run_rows(config, campaign_rows(config),
                      journal_path=journal_path, resume=resume, jobs=jobs,
-                     triage=triage)
+                     triage=triage, cache_dir=cache_dir)
 
 
 def run_sequence_campaign(
     config: CampaignConfig | None = None, *,
     journal_path=None, resume: bool = False, jobs: int = 1, triage=None,
+    cache_dir=None,
 ) -> CampaignResult:
     """Extension experiment: the byte-code *sequence* corpus.
 
@@ -716,12 +792,13 @@ def run_sequence_campaign(
     config = config or CampaignConfig()
     return _run_rows(config, sequence_campaign_rows(config),
                      journal_path=journal_path, resume=resume, jobs=jobs,
-                     triage=triage)
+                     triage=triage, cache_dir=cache_dir)
 
 
 def run_stitched_campaign(
     config: CampaignConfig | None = None, *,
     journal_path=None, resume: bool = False, jobs: int = 1, triage=None,
+    cache_dir=None,
 ) -> CampaignResult:
     """Extension experiment: the template-stitched method corpus.
 
@@ -733,7 +810,7 @@ def run_stitched_campaign(
     config = config or CampaignConfig()
     return _run_rows(config, stitched_campaign_rows(config),
                      journal_path=journal_path, resume=resume, jobs=jobs,
-                     triage=triage)
+                     triage=triage, cache_dir=cache_dir)
 
 
 def _accumulate(report: CompilerReport, result: InstructionTestResult) -> None:

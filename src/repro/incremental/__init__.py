@@ -1,0 +1,36 @@
+"""Incremental campaigns: semantic fingerprints + a persistent result store.
+
+A campaign cell's work product is a pure function of a small semantic
+closure: the interpreter handler under test, the compiler front-end's
+translation for it, the spec's operand/constraint signature, the
+exploration budgets, and the shared execution environment.  This
+package hashes that closure into a content-addressed *fingerprint*
+(:mod:`repro.incremental.fingerprint`) and keeps fingerprint-addressed
+serialized cell records in a cross-run on-disk store
+(:mod:`repro.incremental.store`), so a re-run only pays for cells whose
+semantics actually changed — see docs/INCREMENTAL.md.
+"""
+
+from repro.incremental.fingerprint import (
+    FINGERPRINT_VERSION,
+    cell_fingerprint,
+    fingerprint_members,
+    plan_fingerprints,
+)
+from repro.incremental.store import (
+    CACHE_VERSION,
+    CacheStats,
+    ResultStore,
+    default_cache_dir,
+)
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultStore",
+    "cell_fingerprint",
+    "default_cache_dir",
+    "fingerprint_members",
+    "plan_fingerprints",
+]

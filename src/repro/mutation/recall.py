@@ -292,7 +292,8 @@ def _corpus_config(config: CampaignConfig, corpus: str) -> CampaignConfig:
 
 
 def _run_one(config: CampaignConfig, *, runner, jobs, journal_dir, resume,
-             phase: str, budget: int, triage: TriageConfig | None):
+             phase: str, budget: int, triage: TriageConfig | None,
+             cache_dir=None):
     journal_path, exists = _journal_for(journal_dir, phase, budget)
     return runner(
         config,
@@ -300,6 +301,7 @@ def _run_one(config: CampaignConfig, *, runner, jobs, journal_dir, resume,
         journal_path=journal_path,
         resume=bool(resume and exists),
         triage=triage,
+        cache_dir=cache_dir,
     )
 
 
@@ -314,6 +316,7 @@ def run_recall(
     convergence: bool = True,
     confirm_runs: int = 2,
     progress=None,
+    cache_dir=None,
 ) -> RecallReport:
     """Run the full detection-recall sweep; see the module docstring.
 
@@ -322,7 +325,12 @@ def run_recall(
     is overridden by each entry of ``budgets`` in turn, and its
     ``mutants`` field by each mutant.  ``progress`` is an optional
     ``callable(str)`` for CLI status lines (sent to stderr by the CLI
-    so stdout stays byte-identical across runs).
+    so stdout stays byte-identical across runs).  ``cache_dir``
+    attaches the persistent result store to every campaign of the
+    sweep: semantic fingerprints let a mutant run reuse every baseline
+    cell the mutant does not touch — the bulk of the sweep's work —
+    while the touched cells re-run under the mutated semantics
+    (docs/INCREMENTAL.md).
     """
     config = config or CampaignConfig()
     ids = tuple(mutant_ids) if mutant_ids else registry.all_ids()
@@ -372,7 +380,7 @@ def run_recall(
             baseline = _run_one(
                 base_config, runner=_runner_for(corpus), jobs=jobs,
                 journal_dir=journal_dir, resume=resume, phase=phase,
-                budget=budget, triage=triage,
+                budget=budget, triage=triage, cache_dir=cache_dir,
             )
             baseline_fps[corpus] = campaign_fingerprint(baseline)
             records = report.baseline_records if corpus == "main" \
@@ -400,6 +408,7 @@ def run_recall(
                 mutant_config, runner=_runner_for(corpus), jobs=jobs,
                 journal_dir=journal_dir, resume=resume,
                 phase=f"mutant-{mid}", budget=budget, triage=triage,
+                cache_dir=cache_dir,
             )
             outcome.seconds[budget] = time.perf_counter() - start
             mutated_fp = campaign_fingerprint(mutated)

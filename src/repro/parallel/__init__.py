@@ -10,12 +10,15 @@ sequential run of the same config:
   worker explores each instruction exactly once (the exploration
   cache);
 * :mod:`repro.parallel.worker` — the worker entrypoint executed in a
-  child process: runs a shard cell by cell behind the robustness
-  layer, appends completed cells to the shared journal, streams
-  records to the parent;
-* :mod:`repro.parallel.pool` — the pool driver: bounded concurrency,
+  child process: a persistent puller that serves shards cell by cell
+  behind the robustness layer, appends completed cells to the shared
+  journal (and clean cells to the result store), streams records to
+  the parent;
+* :mod:`repro.parallel.pool` — the pool driver: a work-stealing shard
+  queue (idle workers pull the next shard; see docs/INCREMENTAL.md),
   per-worker deadlines, crash detection (a dead worker costs one cell;
-  the rest of its shard is re-queued), checkpoint/resume;
+  the rest of its shard is re-queued and a replacement spawned),
+  checkpoint/resume;
 * :mod:`repro.parallel.merge` — the deterministic merge of cell
   records into :class:`~repro.difftest.runner.CampaignResult`.
 """

@@ -1,9 +1,22 @@
-"""The process pool: bounded fan-out of shards with crash containment.
+"""The process pool: a work-stealing shard queue with crash containment.
 
-One child process per shard, at most ``jobs`` alive at once.  The
-parent multiplexes over every worker's result pipe and process
-sentinel (``multiprocessing.connection.wait``), so it reacts to both
+``jobs`` persistent worker processes are spawned once; each pulls the
+next shard from the parent's dynamic queue whenever it goes idle
+(``("next",)`` -> ``("shard", ...)``), instead of the old static
+one-process-per-shard assignment.  With a warm result cache most
+shards vanish before scheduling (their cells were served from the
+store), leaving a few expensive stragglers — a dynamic queue keeps
+every worker busy until the queue is empty, so wall-clock tracks the
+*remaining* work, not the unluckiest static assignment.  The parent
+multiplexes over every worker's duplex pipe and process sentinel
+(``multiprocessing.connection.wait``), so it reacts to pull requests,
 completed cells and dying processes without polling loops.
+
+Determinism is unaffected by scheduling: workers stream records keyed
+by cell, and the parent merges them back into canonical plan order
+(:mod:`repro.parallel.merge`) — reports are byte-identical across
+``-j`` values, with or without cache hits, whatever order shards were
+stolen in.
 
 Failure semantics, composing with the PR-2 robustness layer:
 
@@ -11,10 +24,11 @@ Failure semantics, composing with the PR-2 robustness layer:
   handled *inside* the worker by the shared cell executor — retry with
   reduced budgets, then quarantine — identically to ``-j 1``.
 * **Process death** (segfault, ``os._exit``, kill) is detected by the
-  parent via the process sentinel: the first cell of the shard without
-  a delivered record is charged as a ``WorkerCrash`` quarantine, and
-  the rest of the shard is re-queued on a fresh process.  A dead
-  worker costs one cell, never the run.
+  parent via the process sentinel: the first cell of the worker's
+  *current* shard without a delivered record is charged as a
+  ``WorkerCrash`` quarantine, the rest of that shard is re-queued, and
+  a replacement worker is spawned while work remains.  A dead worker
+  costs one cell, never the run.
 * **Deadlines** are enforced twice: each worker rebuilds the remaining
   campaign budget at spawn (`Deadline.child` semantics — monotonic
   clocks do not cross ``fork``), and the parent uses the same deadline
@@ -26,6 +40,10 @@ Failure semantics, composing with the PR-2 robustness layer:
   writers); the parent journals only the ``WorkerCrash`` cells it
   synthesizes.  ``--resume`` therefore works on a journal written by
   any mix of parallel and sequential runs.
+* **Result cache**: cache *lookups* happen in the parent before
+  planning (a fully-warm campaign forks zero workers); cache-missed
+  shards carry their cells' fingerprints to the worker, which appends
+  clean results to the store itself (:mod:`repro.incremental.store`).
 * **Triage**: the pool never triages.  ``--triage`` confirmation,
   shrinking and reproducer emission all run in the parent after the
   merge, over the same serialized cell records the workers shipped
@@ -59,14 +77,17 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 @dataclass
-class _Running:
+class _Worker:
     """Parent-side state of one live worker process."""
 
-    shard: object
     process: object
     conn: object
+    #: Shard currently assigned (None = idle or told to stop).
+    current: object = None
+    #: Keys of the current shard already delivered as records.
     received: set = field(default_factory=set)
     done: bool = False
+    stopping: bool = False
     budget: str | None = None
     failure: tuple | None = None
     cache_hits: int = 0
@@ -74,33 +95,69 @@ class _Running:
     perf: dict | None = None
 
 
-def _handle_message(running: _Running, message, records: dict) -> None:
+def _assign(entry: _Worker, pending: deque, fingerprints: dict) -> None:
+    """Reply to a pull request: hand out the next shard, or stop."""
+    if pending:
+        shard = pending.popleft()
+        shard_fingerprints = {
+            cell.key: fingerprints[cell.key]
+            for cell in shard.cells
+            if cell.key in fingerprints
+        }
+        entry.current = shard
+        entry.received = set()
+        try:
+            entry.conn.send(("shard", shard, shard_fingerprints))
+        except (BrokenPipeError, OSError):
+            # The worker died between pulling and receiving; the shard
+            # was never started — put it back, the sentinel handler
+            # cleans up the process.
+            entry.current = None
+            pending.appendleft(shard)
+    else:
+        entry.stopping = True
+        entry.current = None
+        try:
+            entry.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+def _handle_message(entry: _Worker, message, records: dict, pending: deque,
+                    fingerprints: dict) -> None:
     tag = message[0]
-    if tag == "cell":
+    if tag == "next":
+        _assign(entry, pending, fingerprints)
+    elif tag == "cell":
         _, key, record = message
         records[key] = record
-        running.received.add(key)
+        entry.received.add(key)
+    elif tag == "shard_done":
+        entry.cache_hits += message[1]
+        entry.cache_misses += message[2]
+        entry.current = None
     elif tag == "budget":
-        running.budget = message[1]
+        entry.budget = message[1]
     elif tag == "fail":
-        running.failure = (message[1], message[2])
+        entry.failure = (message[1], message[2])
     elif tag == "done":
-        running.done = True
-        running.cache_hits, running.cache_misses = message[1], message[2]
-        if len(message) > 3:
-            running.perf = message[3]
+        entry.done = True
+        if len(message) > 1 and message[1] is not None:
+            entry.perf = message[1]
 
 
-def _drain(running: _Running, records: dict) -> None:
+def _drain(entry: _Worker, records: dict, pending: deque,
+           fingerprints: dict) -> None:
     """Consume every message currently buffered on the worker's pipe."""
     try:
-        while running.conn.poll():
-            _handle_message(running, running.conn.recv(), records)
+        while entry.conn.poll():
+            _handle_message(entry, entry.conn.recv(), records, pending,
+                            fingerprints)
     except (EOFError, OSError):
         pass
 
 
-def _charge_worker_crash(running: _Running, rows, config, records: dict,
+def _charge_worker_crash(entry: _Worker, rows, config, records: dict,
                          journal, pending: deque) -> None:
     """A worker died mid-shard: quarantine the in-flight cell, re-queue
     the rest of its shard."""
@@ -110,9 +167,9 @@ def _charge_worker_crash(running: _Running, rows, config, records: dict,
         _serialize_cell,
     )
 
+    shard = entry.current
     victim = next(
-        (cell for cell in running.shard.cells
-         if cell.key not in running.received),
+        (cell for cell in shard.cells if cell.key not in entry.received),
         None,
     )
     if victim is None:
@@ -122,10 +179,10 @@ def _charge_worker_crash(running: _Running, rows, config, records: dict,
     row = rows[victim.row_index]
     spec = row.specs[victim.spec_index]
     error = WorkerCrash(
-        f"worker process exited with code {running.process.exitcode} "
+        f"worker process exited with code {entry.process.exitcode} "
         f"while running {victim.instruction}/{victim.compiler}"
     )
-    entry = QuarantineEntry.from_error(
+    quarantine_entry = QuarantineEntry.from_error(
         error,
         instruction=spec.name,
         kind=spec.kind,
@@ -135,22 +192,29 @@ def _charge_worker_crash(running: _Running, rows, config, records: dict,
     )
     record = _serialize_cell(
         victim.key, _crashed_result(spec, row.compiler_class, config, error),
-        entry,
+        quarantine_entry,
     )
     records[victim.key] = record
     if journal is not None:
         journal.append(record)
-    remainder = running.shard.remainder_after(victim)
+    remainder = shard.remainder_after(victim)
     if remainder is not None:
         pending.appendleft(remainder)
 
 
 def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
-                      resume: bool = False):
-    """Execute a canonical plan on a worker pool; see module docstring."""
+                      resume: bool = False, cached=None, fingerprints=None,
+                      cache_dir=None):
+    """Execute a canonical plan on a worker pool; see module docstring.
+
+    *cached* maps cell keys to serialized records already served from
+    the result store (parent-side lookups); *fingerprints* maps cell
+    keys to semantic fingerprints so workers can append misses back to
+    the store at *cache_dir*.
+    """
     from repro.parallel.merge import merge_records
     from repro.parallel.shard import plan_cells, plan_shards
-    from repro.parallel.worker import run_shard
+    from repro.parallel.worker import run_worker
 
     jobs = resolve_jobs(jobs)
     plan = rows[0].experiment if rows else "main"
@@ -161,48 +225,57 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
     planned = {cell.key for cell in plan_cells(rows)}
     records = {key: rec for key, rec in completed.items() if key in planned}
     resumed_cells = len(records)
+    cached_cells = 0
+    for key, record in (cached or {}).items():
+        if key in planned and key not in records:
+            records[key] = record
+            cached_cells += 1
+    fingerprints = dict(fingerprints or {})
 
     deadline = Deadline(config.deadline_seconds)
     pending: deque = deque(plan_shards(rows, records))
-    running: dict = {}  # process sentinel -> _Running
+    workers: dict = {}  # process sentinel -> _Worker
     context = multiprocessing.get_context("fork")
     budget_exhausted = False
     failure = None
     cache_hits = cache_misses = 0
     perf_snapshots: list = []
 
+    def spawn() -> None:
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=run_worker,
+            args=(child_conn, plan, config, deadline.remaining(),
+                  journal_path, cache_dir),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        workers[process.sentinel] = _Worker(process, parent_conn)
+
     try:
-        while pending or running:
+        while pending or workers:
             if deadline.expired:
                 budget_exhausted = True
                 break
-            while pending and len(running) < jobs:
-                shard = pending.popleft()
-                parent_conn, child_conn = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=run_shard,
-                    args=(child_conn, plan, config, shard,
-                          deadline.remaining(), journal_path),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                running[process.sentinel] = _Running(shard, process,
-                                                     parent_conn)
-            by_conn = {entry.conn: entry for entry in running.values()}
-            handles = list(by_conn) + list(running)
+            # Keep the pool at strength while work remains: initial
+            # spawn and replacements after crashes both land here.
+            while pending and len(workers) < jobs:
+                spawn()
+            by_conn = {entry.conn: entry for entry in workers.values()}
+            handles = list(by_conn) + list(workers)
             ready = connection.wait(handles, timeout=deadline.remaining())
             exited = []
             for handle in ready:
                 entry = by_conn.get(handle)
                 if entry is not None:
-                    _drain(entry, records)
-                elif handle in running:
+                    _drain(entry, records, pending, fingerprints)
+                elif handle in workers:
                     exited.append(handle)
             for sentinel in exited:
-                entry = running.pop(sentinel)
+                entry = workers.pop(sentinel)
                 entry.process.join()
-                _drain(entry, records)
+                _drain(entry, records, pending, fingerprints)
                 entry.conn.close()
                 cache_hits += entry.cache_hits
                 cache_misses += entry.cache_misses
@@ -212,15 +285,15 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
                     failure = entry.failure
                 elif entry.budget is not None:
                     budget_exhausted = True
-                elif not entry.done:
+                elif not entry.done and entry.current is not None:
                     _charge_worker_crash(entry, rows, config, records,
                                          journal, pending)
             if failure is not None or budget_exhausted:
                 break
     finally:
-        for entry in running.values():
+        for entry in workers.values():
             entry.process.terminate()
-        for entry in running.values():
+        for entry in workers.values():
             entry.process.join()
             entry.conn.close()
 
@@ -232,6 +305,7 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
     result = merge_records(rows, records)
     result.budget_exhausted = budget_exhausted
     result.resumed_cells = resumed_cells
+    result.cached_cells = cached_cells
     result.journal_path = journal_path
     result.workers = jobs
     result.cache_hits = cache_hits

@@ -1,4 +1,4 @@
-"""The worker entrypoint: one shard, executed in a child process.
+"""The worker entrypoint: a persistent cell executor in a child process.
 
 A worker owns a full OS process, so `guard()`'s in-process crash
 isolation is upgraded to real process isolation: a segfault,
@@ -9,14 +9,27 @@ handled in-worker with the same retry/quarantine policy as the
 sequential engine, via the shared
 :func:`~repro.difftest.runner.execute_cell`.
 
+Since PR 9 workers are *persistent pullers*: one process serves many
+shards, requesting the next one from the parent's dynamic queue
+whenever it goes idle (work stealing — see docs/INCREMENTAL.md).  Each
+shard still gets a fresh :class:`ExplorationCache`, so per-instruction
+exploration sharing is identical to the old one-process-per-shard
+pool, and merge-order determinism is untouched (the parent merges by
+plan order, never by arrival order).
+
 The worker streams one message per completed cell back through its
 pipe and appends the same record to the shared journal itself —
 journal appends are concurrency-safe
 (:mod:`repro.robustness.checkpoint`), and worker-side appends mean a
-parent crash loses nothing a worker finished.
+parent crash loses nothing a worker finished.  With a result cache
+attached (``cache_dir``), clean first-attempt cells are also appended
+to the persistent store under their semantic fingerprint
+(:mod:`repro.incremental.store` — same O_APPEND+CRC discipline, safe
+under concurrent workers).
 
-Wire protocol (worker -> parent), all plain picklable data:
+Wire protocol, all plain picklable data.  Worker -> parent:
 
+* ``("next",)`` — the worker is idle and wants a shard;
 * ``("cell", key, record)`` — one completed (or quarantined) cell.
   Since PR 5 the record's comparison entries also carry the triage
   candidate payload (path constraint signatures, exit pairs, operand
@@ -24,13 +37,21 @@ Wire protocol (worker -> parent), all plain picklable data:
   runs the whole ``--triage`` pipeline over these serialized records
   (:mod:`repro.triage`), which is what keeps triage output identical
   across ``-j`` values;
+* ``("shard_done", cache_hits, cache_misses)`` — one shard finished;
+  the exploration-cache accounting for it;
 * ``("budget", message)`` — the campaign deadline expired in-worker;
   the shard's remaining cells were not run;
 * ``("fail", error_class, message)`` — ``fail_fast`` is set and a cell
   crashed; the parent re-raises;
-* ``("done", cache_hits, cache_misses[, perf_snapshot])`` — the shard
-  completed; the trailing perf snapshot dict is present only when the
-  campaign runs with ``profile`` set (parents accept both shapes).
+* ``("done", perf_snapshot | None)`` — the worker is exiting cleanly;
+  the perf snapshot dict is present only under ``profile``.
+
+Parent -> worker:
+
+* ``("shard", shard, fingerprints)`` — run this shard; *fingerprints*
+  maps the shard's cell keys to semantic fingerprints (empty when the
+  result cache is off);
+* ``("stop",)`` — no work left; send ``done`` and exit.
 """
 
 from __future__ import annotations
@@ -74,13 +95,13 @@ def resolve_rows(plan: str, config):
     raise ValueError(f"unknown campaign plan {plan!r}")
 
 
-def run_shard(conn, plan: str, config, shard, remaining_seconds,
-              journal_path) -> None:
-    """Execute *shard* cell by cell, streaming records to *conn*.
+def run_worker(conn, plan: str, config, remaining_seconds, journal_path,
+               cache_dir=None) -> None:
+    """Serve shards pulled from *conn* until the parent says stop.
 
     ``config.mutants`` crosses the fork boundary inside the pickled
     config; activating it here (reference-counted, so the per-cell
-    activation inside ``execute_cell`` nests) makes the whole shard —
+    activation inside ``execute_cell`` nests) makes every shard —
     including plan resolution and the shared exploration cache — run
     under the same mutated semantics as a sequential campaign of the
     same config (see docs/MUTATION.md).
@@ -88,59 +109,92 @@ def run_shard(conn, plan: str, config, shard, remaining_seconds,
     from repro.mutation import activated
 
     with activated(getattr(config, "mutants", ())):
-        _run_shard_activated(conn, plan, config, shard, remaining_seconds,
-                             journal_path)
+        _run_worker_activated(conn, plan, config, remaining_seconds,
+                              journal_path, cache_dir)
 
 
-def _run_shard_activated(conn, plan: str, config, shard, remaining_seconds,
-                         journal_path) -> None:
+def _run_worker_activated(conn, plan: str, config, remaining_seconds,
+                          journal_path, cache_dir) -> None:
     rows = resolve_rows(plan, config)
     deadline = Deadline(remaining_seconds)
     journal = CampaignJournal(journal_path) if journal_path else None
+    store = None
+    if cache_dir:
+        from repro.incremental import ResultStore
+
+        store = ResultStore(str(cache_dir))
     if getattr(config, "profile", False):
         perf.enable()
+    try:
+        conn.send(("next",))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message[0] == "stop":
+                break
+            _tag, shard, fingerprints = message
+            if not _serve_shard(conn, rows, config, deadline, journal,
+                                store, shard, fingerprints):
+                return
+            conn.send(("next",))
+        if perf.enabled():
+            from repro.concolic.solver.incremental import record_solver_gauges
+
+            record_solver_gauges()
+            conn.send(("done", perf.snapshot()))
+        else:
+            conn.send(("done", None))
+    finally:
+        conn.close()
+
+
+def _serve_shard(conn, rows, config, deadline, journal, store, shard,
+                 fingerprints) -> bool:
+    """One shard, cell by cell; False = fatal, the worker must exit."""
     # One cache per shard = one exploration per instruction, shared by
     # every compiler cell of the shard (the shard planner guarantees a
     # shard never spans instructions).
     cache = ExplorationCache()
-    try:
-        for cell in shard.cells:
-            row = rows[cell.row_index]
-            spec = row.specs[cell.spec_index]
-            compiler_class = row.compiler_class
-            try:
-                result, error = execute_cell(config, deadline, spec,
-                                             compiler_class, cache)
-            except BudgetExhausted as exc:
-                conn.send(("budget", str(exc)))
-                return
-            except CampaignError as exc:
-                # Only reachable with fail_fast: hand the classified
-                # error to the parent for re-raising.
-                conn.send(("fail", exc.error_class, str(exc)))
-                return
-            entry = None
-            if error is not None:
-                entry = QuarantineEntry.from_error(
-                    error,
-                    instruction=spec.name,
-                    kind=spec.kind,
-                    compiler=compiler_class.name,
-                    backend=_backend_scope(config),
-                )
-                result = _crashed_result(spec, compiler_class, config, error)
-            record = _serialize_cell(cell.key, result, entry)
-            if journal is not None:
-                journal.append(record)
-            conn.send(("cell", cell.key, record))
-        if perf.enabled():
-            from repro.concolic.solver.incremental import record_solver_gauges
-
-            perf.incr("explore.cache_hits", cache.hits)
-            perf.incr("explore.cache_misses", cache.misses)
-            record_solver_gauges()
-            conn.send(("done", cache.hits, cache.misses, perf.snapshot()))
-        else:
-            conn.send(("done", cache.hits, cache.misses))
-    finally:
-        conn.close()
+    for cell in shard.cells:
+        row = rows[cell.row_index]
+        spec = row.specs[cell.spec_index]
+        compiler_class = row.compiler_class
+        try:
+            result, error = execute_cell(config, deadline, spec,
+                                         compiler_class, cache)
+        except BudgetExhausted as exc:
+            conn.send(("budget", str(exc)))
+            return False
+        except CampaignError as exc:
+            # Only reachable with fail_fast: hand the classified
+            # error to the parent for re-raising.
+            conn.send(("fail", exc.error_class, str(exc)))
+            return False
+        entry = None
+        if error is not None:
+            entry = QuarantineEntry.from_error(
+                error,
+                instruction=spec.name,
+                kind=spec.kind,
+                compiler=compiler_class.name,
+                backend=_backend_scope(config),
+            )
+            result = _crashed_result(spec, compiler_class, config, error)
+        record = _serialize_cell(cell.key, result, entry)
+        if journal is not None:
+            journal.append(record)
+        if (store is not None and error is None
+                and getattr(result, "retries", 0) == 0
+                and not getattr(result.exploration, "budget_exhausted",
+                                False)):
+            fingerprint = fingerprints.get(cell.key)
+            if fingerprint:
+                store.put(fingerprint, record)
+        conn.send(("cell", cell.key, record))
+    if perf.enabled():
+        perf.incr("explore.cache_hits", cache.hits)
+        perf.incr("explore.cache_misses", cache.misses)
+    conn.send(("shard_done", cache.hits, cache.misses))
+    return True

@@ -12,6 +12,9 @@ def _hit_rate(hits: int, misses: int) -> str:
 
 #: (label, hits counter, misses counter) per cache tier, in report order.
 _CACHE_TIERS = (
+    # The persistent cross-run store: a hit skips the whole cell —
+    # exploration, compilation, execution (docs/INCREMENTAL.md).
+    ("result cache", "cache.hits", "cache.misses"),
     ("exploration cache", "explore.cache_hits", "explore.cache_misses"),
     ("solver memo", "solver.memo_hits", "solver.memo_misses"),
     ("warm-start", "solver.warm_hits", "solver.warm_fallbacks"),
@@ -58,6 +61,22 @@ def format_profile(snapshot: dict) -> str:
             lines.append(f"    {name:<34} {gauges[name]:>10}")
 
     return "\n".join(lines)
+
+
+def result_cache_hit_rate(snapshot: dict) -> float | None:
+    """Persistent result-store hit rate in [0, 1], or None if detached.
+
+    ``cache.hits`` / ``cache.misses`` count parent-side fingerprint
+    lookups against the cross-run store (docs/INCREMENTAL.md).  Used
+    by the CI incremental-smoke gate: a warm re-run of an identical
+    campaign must hit on nearly every cell.
+    """
+    counters = snapshot.get("counters", {})
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
 
 
 def solver_memo_hit_rate(snapshot: dict) -> float | None:

@@ -61,15 +61,20 @@ def _checksum(payload: str) -> int:
     return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
 
 
-def encode_record(record: dict) -> bytes:
-    """One journal line: versioned, checksummed, newline-terminated."""
-    record = dict(record, version=JOURNAL_VERSION)
+def encode_record(record: dict, version: int = JOURNAL_VERSION) -> bytes:
+    """One journal line: versioned, checksummed, newline-terminated.
+
+    The same discipline serves the campaign journal and the persistent
+    result store (:mod:`repro.incremental.store`), each under its own
+    *version* namespace.
+    """
+    record = dict(record, version=version)
     payload = json.dumps(record, sort_keys=True)
     record["crc"] = _checksum(payload)
     return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
 
 
-def decode_record(line: str) -> dict | None:
+def decode_record(line: str, version: int = JOURNAL_VERSION) -> dict | None:
     """Parse and verify one journal line; None if torn/corrupt/foreign."""
     try:
         record = json.loads(line)
@@ -80,7 +85,7 @@ def decode_record(line: str) -> dict | None:
     crc = record.pop("crc", None)
     if crc != _checksum(json.dumps(record, sort_keys=True)):
         return None
-    if record.get("version") != JOURNAL_VERSION:
+    if record.get("version") != version:
         return None
     return record
 

@@ -6,6 +6,18 @@ from dataclasses import dataclass
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Point the persistent result store at a per-test directory.
+
+    The CLI enables the cross-run cache by default
+    (docs/INCREMENTAL.md), so without this every test invoking
+    ``repro campaign`` would read and write the developer's real
+    ``~/.cache/repro`` — non-hermetic both ways.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
 from repro.bytecode.methods import MethodBuilder, SymbolTable
 from repro.interpreter.interpreter import Interpreter
 from repro.memory.bootstrap import WellKnown, bootstrap_memory

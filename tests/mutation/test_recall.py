@@ -139,3 +139,39 @@ class TestBaselineUndisturbed:
         first = campaign_fingerprint(run_campaign(config))
         second = campaign_fingerprint(run_campaign(config))
         assert first == second
+
+
+class TestCacheEconomics:
+    """`repro mutate` with a result store: byte-identical sweeps, and
+    the mutant phase re-runs only the cells its patch invalidates."""
+
+    CONFIG = CampaignConfig(only=("pushTrue", "bytecodePrimLessThan"))
+
+    def test_cached_sweep_is_byte_identical(self, tmp_path):
+        kwargs = dict(budgets=(4,), convergence=False)
+        plain = run_recall(self.CONFIG, ("C1",), **kwargs)
+        cache_dir = str(tmp_path / "cache")
+        cold = run_recall(self.CONFIG, ("C1",), cache_dir=cache_dir,
+                          **kwargs)
+        warm = run_recall(self.CONFIG, ("C1",), cache_dir=cache_dir,
+                          **kwargs)
+        reference = plain.to_dict(include_timing=False)
+        assert cold.to_dict(include_timing=False) == reference
+        assert warm.to_dict(include_timing=False) == reference
+        assert (format_recall(plain) == format_recall(cold)
+                == format_recall(warm))
+
+    def test_mutant_phase_reuses_baseline_cells(self, tmp_path):
+        """C1 patches gen_bytecodePrimLessThan only, so after the
+        baseline phase the mutated campaign stores exactly the three
+        bytecodePrimLessThan cells — the pushTrue cells are served from
+        the baseline's records."""
+        from repro.incremental import ResultStore
+
+        cache_dir = str(tmp_path / "cache")
+        run_recall(self.CONFIG, ("C1",), budgets=(4,), convergence=False,
+                   cache_dir=cache_dir)
+        store = ResultStore(cache_dir)
+        store.load()
+        # 6 baseline cells (2 bytecodes x 3 compilers) + 3 invalidated.
+        assert store.stats.entries == 9

@@ -131,3 +131,41 @@ class TestCrashIsolationParity:
         with inject_faults(plan):
             with pytest.raises(CompilerCrash):
                 run_campaign(config, jobs=2)
+
+
+class TestCacheInterplay:
+    """The persistent result store composes with work stealing: a warm
+    parallel run stays byte-identical to the sequential baseline, and
+    crash containment never poisons the store."""
+
+    def test_warm_cache_identical_across_worker_counts(self, baseline,
+                                                       tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(CONFIG, cache_dir=cache_dir)  # populate
+        for jobs in (2, 3):
+            warm = run_campaign(CONFIG, jobs=jobs, cache_dir=cache_dir)
+            assert warm.cached_cells == 7
+            assert format_table2(warm) == format_table2(baseline)
+            assert format_table3(warm) == format_table3(baseline)
+            assert cell_summaries(warm) == cell_summaries(baseline)
+
+    def test_worker_death_does_not_poison_the_store(self, baseline,
+                                                    tmp_path):
+        """Workers append each completed cell before reporting it, so a
+        dead worker leaves only finished records behind.  The crashed
+        cell is never stored; the warm re-run hits the six healthy
+        cells, re-runs the seventh live and converges on the fault-free
+        baseline."""
+        cache_dir = str(tmp_path / "cache")
+        plan = FaultPlan(stage="compile", kind="die",
+                         instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER)
+        with inject_faults(plan):
+            faulted = run_campaign(CONFIG, jobs=2, cache_dir=cache_dir)
+        assert len(faulted.quarantine) == 1
+
+        warm = run_campaign(CONFIG, cache_dir=cache_dir)
+        assert warm.cache.hits == 6
+        assert warm.cache.misses == 1
+        assert len(warm.quarantine) == 0
+        assert cell_summaries(warm) == cell_summaries(baseline)

@@ -145,3 +145,52 @@ class TestCommands:
         assert code == 0
         assert "generated" in capsys.readouterr().out
         assert list(tmp_path.glob("test_*.py"))
+
+
+class TestCacheCLI:
+    """`repro campaign` cache flags, the stats line CI parses, and the
+    `repro cache` inspection subcommand."""
+
+    ARGS = ["campaign", "--max-bytecodes", "2", "--max-natives", "1",
+            "--backend", "x86"]
+
+    def test_stats_line_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert ("result cache: 0 hits / 7 misses (0 stale) "
+                "-- hit rate 0.0%") in cold
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert ("result cache: 7 hits / 0 misses (0 stale) "
+                "-- hit rate 100.0%") in warm
+
+    def test_no_cache_suppresses_the_store(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        assert "result cache:" not in capsys.readouterr().out
+
+    def test_default_cache_dir_comes_from_env(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(self.ARGS) == 0
+        assert "result cache:" in capsys.readouterr().out
+        assert (tmp_path / "envcache").exists()
+
+    def test_cache_inspect_gc_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(self.ARGS + ["--cache-dir", cache])
+        capsys.readouterr()
+
+        assert main(["cache", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert f"cache directory: {cache}" in out
+        assert "entries:         7" in out
+        assert "current" in out
+
+        assert main(["cache", "--cache-dir", cache, "--gc"]) == 0
+        assert "compacted to 7 entries" in capsys.readouterr().out
+
+        assert main(["cache", "--cache-dir", cache, "--clear"]) == 0
+        assert "removed 1 store file(s)" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache]) == 0
+        assert "entries:         0" in capsys.readouterr().out

@@ -22,6 +22,12 @@ every ``stitch`` flag (the ``stitch`` subcommand's own plus the
 cross-linked from ``README.md``, CAMPAIGN.md, MUTATION.md and
 ``DESIGN.md`` §17.
 
+``docs/INCREMENTAL.md`` promises the same for the incremental engine:
+the ``--cache-dir``/``--no-cache`` flags and the ``cache`` subcommand
+documented, every ``cache.*`` counter recorded in the source, every
+module path real, and the guide cross-linked from ``README.md``,
+CAMPAIGN.md, MUTATION.md, PERFORMANCE.md and ``DESIGN.md`` §18.
+
 ``docs/INDEX.md`` is the architecture map: every ``docs/*.md`` guide
 and every ``src/repro/*`` package must appear in it.  Finally, a
 repo-wide sweep asserts that *no* guide (nor ``DESIGN.md`` /
@@ -44,6 +50,7 @@ DOCS = ROOT / "docs" / "CAMPAIGN.md"
 EXPLORATION = ROOT / "docs" / "EXPLORATION.md"
 MUTATION = ROOT / "docs" / "MUTATION.md"
 STITCHING = ROOT / "docs" / "STITCHING.md"
+INCREMENTAL = ROOT / "docs" / "INCREMENTAL.md"
 INDEX = ROOT / "docs" / "INDEX.md"
 
 
@@ -310,6 +317,101 @@ def test_stitching_guide_is_cross_linked():
             f"{referrer.name} does not link to docs/STITCHING.md"
         )
     assert "## 17." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# docs/INCREMENTAL.md
+
+
+def incremental_text() -> str:
+    return INCREMENTAL.read_text(encoding="utf-8")
+
+
+def incremental_flags() -> list[str]:
+    """Every incremental-engine flag: the ``cache`` subcommand's own
+    plus the shared ``--cache-dir``/``--no-cache`` knobs on
+    ``campaign`` (identical on ``mutate`` — both call
+    ``add_cache_arguments``)."""
+    flags = list(subcommand_flags("cache"))
+    flags.extend(f for f in campaign_flags()
+                 if f in ("--cache-dir", "--no-cache"))
+    return sorted(set(flags))
+
+
+def incremental_counters() -> list[str]:
+    """Counter names the incremental guide documents."""
+    return sorted(set(re.findall(r"`(cache\.[a-z_]+)`",
+                                 incremental_text())))
+
+
+def incremental_module_paths() -> list[str]:
+    """`src/...py` module paths the incremental guide mentions."""
+    return sorted(set(re.findall(r"`(src/[\w/]+\.py)`",
+                                 incremental_text())))
+
+
+def test_incremental_guide_introspection_is_not_vacuous():
+    assert len(incremental_counters()) >= 4
+    assert "src/repro/incremental/fingerprint.py" in incremental_module_paths()
+    assert "--cache-dir" in incremental_flags()
+    assert "--no-cache" in incremental_flags()
+
+
+def test_cache_flags_exist_on_campaign_and_mutate():
+    """The guide documents cache flags as shared; keep them shared."""
+    for subcommand in ("campaign", "mutate"):
+        flags = subcommand_flags(subcommand)
+        assert "--cache-dir" in flags and "--no-cache" in flags, (
+            f"`{subcommand}` lost its cache flags — docs/INCREMENTAL.md "
+            "documents them as shared via add_cache_arguments"
+        )
+
+
+@pytest.mark.parametrize("flag", incremental_flags())
+def test_incremental_flag_is_documented(flag):
+    text = incremental_text()
+    assert f"`{flag}" in text or f"{flag} " in text, (
+        f"{flag} is missing from docs/INCREMENTAL.md — every cache "
+        "flag must appear in the operator guide"
+    )
+
+
+@pytest.mark.parametrize("name", incremental_counters())
+def test_incremental_counter_exists_in_source(name):
+    sources = (ROOT / "src" / "repro").rglob("*.py")
+    assert any(name in path.read_text(encoding="utf-8") for path in sources), (
+        f"{name} appears in docs/INCREMENTAL.md but nowhere in src/repro"
+    )
+
+
+@pytest.mark.parametrize("path", incremental_module_paths())
+def test_incremental_module_path_exists(path):
+    assert (ROOT / path).exists(), (
+        f"docs/INCREMENTAL.md mentions {path}, which does not exist"
+    )
+
+
+def test_incremental_guide_documents_the_stats_line():
+    """The `result cache:` stdout line is the CI parse surface; the
+    guide must show it and the CLI must print it in that shape."""
+    assert "result cache:" in incremental_text()
+    from repro.cli import print_cache_stats  # the line lives here
+    assert print_cache_stats is not None
+
+
+def test_incremental_guide_is_cross_linked():
+    """The guide is discoverable from its siblings, the README and
+    the promised DESIGN.md §18."""
+    for referrer in (
+        ROOT / "README.md",
+        ROOT / "docs" / "CAMPAIGN.md",
+        ROOT / "docs" / "MUTATION.md",
+        ROOT / "docs" / "PERFORMANCE.md",
+    ):
+        assert "INCREMENTAL.md" in referrer.read_text(encoding="utf-8"), (
+            f"{referrer.name} does not link to docs/INCREMENTAL.md"
+        )
+    assert "## 18." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
 
 
 # ----------------------------------------------------------------------
