@@ -208,7 +208,11 @@ def print_cache_stats(stats) -> None:
 
 
 def cmd_campaign(args) -> int:
-    from repro.difftest.report import format_quarantine, format_retries
+    from repro.difftest.report import (
+        format_quarantine,
+        format_resilience,
+        format_retries,
+    )
 
     if args.stitch and args.sequences:
         raise SystemExit("--stitch and --sequences are mutually exclusive")
@@ -226,6 +230,9 @@ def cmd_campaign(args) -> int:
         backends=tuple(BACKENDS[b] for b in args.backend),
         max_sim_steps=args.max_sim_steps,
         deadline_seconds=args.deadline,
+        cell_timeout_seconds=args.cell_timeout,
+        worker_memory_mb=args.worker_memory_mb,
+        worker_cpu_seconds=args.worker_cpu_seconds,
         fail_fast=args.fail_fast,
         fault_describer_gaps=gaps,
         mutants=mutants,
@@ -269,6 +276,10 @@ def cmd_campaign(args) -> int:
     if retry_section:
         print()
         print(retry_section)
+    resilience_section = format_resilience(reports)
+    if resilience_section:
+        print()
+        print(resilience_section)
     if reports.triage is not None:
         from repro.triage import format_causes
 
@@ -405,6 +416,23 @@ def cmd_cache(args) -> int:
     for path, kind in store.files():
         size = path.stat().st_size
         print(f"  {kind:8s} {path.name}  {size} bytes")
+    if args.journal:
+        from repro.robustness.checkpoint import (
+            TRIAGE_KEY_PREFIX,
+            CampaignJournal,
+        )
+
+        journal = CampaignJournal(args.journal)
+        completed = journal.load()
+        triage_count = sum(
+            1 for key in completed if key.startswith(TRIAGE_KEY_PREFIX)
+        )
+        replay = journal.replay
+        print(f"journal:         {args.journal}")
+        print(f"  cell records   {len(completed) - triage_count}")
+        print(f"  triage records {triage_count}")
+        print(f"  torn lines     {replay.torn_lines} (skipped)")
+        print(f"  skipped lines  {replay.skipped_lines} (foreign/keyless)")
     if store.stats.warning:
         print(f"warning: {store.stats.warning}", file=sys.stderr)
     return 0
@@ -605,6 +633,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for the whole campaign (default: none)",
     )
     campaign.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell under -jN: a worker stuck on "
+             "one cell longer than this is SIGKILLed, the cell "
+             "quarantined and the worker respawned (default: "
+             "--deadline/4 when --deadline is set, else unbounded; "
+             "no effect with -j 1)",
+    )
+    campaign.add_argument(
+        "--worker-memory-mb", type=int, default=None, metavar="MB",
+        help="RLIMIT_AS address-space cap applied in each -jN worker "
+             "process; an over-limit cell is quarantined as "
+             "WorkerResourceExceeded (default: unlimited)",
+    )
+    campaign.add_argument(
+        "--worker-cpu-seconds", type=int, default=None, metavar="SECONDS",
+        help="RLIMIT_CPU cap applied in each -jN worker process; a "
+             "worker killed by SIGXCPU is quarantined as "
+             "WorkerResourceExceeded (default: unlimited)",
+    )
+    campaign.add_argument(
         "--max-sim-steps", type=int, default=20_000, metavar="N",
         help="fuel limit per simulated machine execution (default: 20000)",
     )
@@ -752,6 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--clear", action="store_true",
         help="delete every store file in the cache directory",
+    )
+    cache.add_argument(
+        "--journal", metavar="PATH",
+        help="also inspect this campaign journal: record counts plus "
+             "torn/skipped line diagnostics (docs/RESILIENCE.md)",
     )
     cache.set_defaults(handler=cmd_cache)
 

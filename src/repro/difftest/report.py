@@ -238,3 +238,39 @@ def format_quarantine(quarantine) -> str:
             for tb_line in entry.traceback.splitlines()[-3:]:
                 lines.append(f"      | {tb_line}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# resilience report (supervision + replay health)
+
+
+def format_resilience(result) -> str:
+    """Campaign resilience section: supervision events and replay health.
+
+    Each fact prints only when it actually happened (a clean run stays
+    byte-identical to one from before supervision existed), so callers
+    can print the result unconditionally.  Lines are prefixed
+    ``resilience:`` for CI-side filtering (see docs/RESILIENCE.md).
+    """
+    lines = []
+    preempted = getattr(result, "preempted_cells", 0)
+    respawned = getattr(result, "respawned_workers", 0)
+    if preempted or respawned:
+        lines.append(
+            f"resilience: {preempted} cell(s) preempted by --cell-timeout; "
+            f"{respawned} worker(s) respawned"
+        )
+    replay = getattr(result, "journal_replay", None)
+    if replay is not None and (replay.torn_lines or replay.skipped_lines):
+        lines.append(
+            f"resilience: journal replay skipped {replay.torn_lines} "
+            f"torn and {replay.skipped_lines} foreign line(s) "
+            f"({replay.records} records replayed)"
+        )
+    pipe_errors = getattr(result, "unexpected_io_errors", 0)
+    if pipe_errors:
+        lines.append(
+            f"resilience: {pipe_errors} unexpected worker-pipe I/O "
+            f"error(s) tolerated (see stderr)"
+        )
+    return "\n".join(lines)

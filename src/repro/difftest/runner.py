@@ -147,6 +147,20 @@ class CampaignConfig:
     max_sim_steps: int = 20_000
     #: Wall-clock budget for the whole campaign (None = unbounded).
     deadline_seconds: float | None = None
+    #: Per-cell wall-clock budget enforced by the parallel engine's
+    #: supervisor (``--cell-timeout``): a worker whose current cell
+    #: outlives it is SIGKILLed, the cell is quarantined as
+    #: ``BudgetExhausted`` and the rest of its shard re-queued.  None
+    #: derives a default from ``deadline_seconds`` (a quarter, floored
+    #: at 1s); with neither set, supervision is off.  The sequential
+    #: engine relies on cooperative deadline checks instead.
+    cell_timeout_seconds: float | None = None
+    #: Worker resource limits, applied via ``setrlimit`` in each forked
+    #: child (``--worker-memory-mb`` -> RLIMIT_AS,
+    #: ``--worker-cpu-seconds`` -> RLIMIT_CPU); breaches classify as
+    #: ``WorkerResourceExceeded``, not a generic ``WorkerCrash``.
+    worker_memory_mb: int | None = None
+    worker_cpu_seconds: int | None = None
     #: Re-raise the first cell crash instead of quarantining (debugging).
     fail_fast: bool = False
     #: Budget multiplier applied for the single quarantine retry.
@@ -392,6 +406,16 @@ class CampaignResult(list):
         #: :class:`repro.triage.TriageReport` when the run was triaged
         #: (``campaign --triage``), else None.
         self.triage = None
+        #: Supervision bookkeeping (parallel engine): cells preempted
+        #: at --cell-timeout and replacement workers spawned.
+        self.preempted_cells = 0
+        self.respawned_workers = 0
+        #: Unexpected (non-pipe-death) I/O errors contained on worker
+        #: pipes; see ``pool.unexpected_io_errors``.
+        self.unexpected_io_errors = 0
+        #: :class:`repro.robustness.checkpoint.JournalReplay` stats of
+        #: the --resume replay, else None (no journal / fresh run).
+        self.journal_replay = None
 
 
 @dataclass
@@ -437,6 +461,7 @@ class _CampaignContext:
         self.deadline = Deadline(config.deadline_seconds)
         self.quarantine = Quarantine()
         self.explorations = ExplorationCache()
+        self.resume = resume
         self.journal = CampaignJournal(journal_path) if journal_path else None
         if self.journal is not None and not resume:
             # A fresh (non-resuming) run must not append to stale state.
@@ -666,6 +691,8 @@ def _finish(result: CampaignResult, ctx: _CampaignContext,
     result.journal_path = journal_path
     result.cache_hits = ctx.explorations.hits
     result.cache_misses = ctx.explorations.misses
+    if ctx.journal is not None and ctx.resume:
+        result.journal_replay = ctx.journal.replay
     return result
 
 

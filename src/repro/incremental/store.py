@@ -25,12 +25,20 @@ Degradation paths (the "never worse than cold" contract):
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import perf
 from repro.incremental.fingerprint import FINGERPRINT_VERSION
-from repro.robustness.checkpoint import decode_record, encode_record
+from repro.robustness import chaos
+from repro.robustness.checkpoint import (
+    MAX_WRITE_FAILURES,
+    torn_tail,
+    decode_record,
+    encode_record,
+)
+from repro.robustness.faults import maybe_inject
 
 #: On-disk format version: bumped when the record shape or the
 #: fingerprint recipe changes.  Mismatched stores are never read.
@@ -94,6 +102,9 @@ class ResultStore:
     _records: dict = field(default_factory=dict)
     _by_key: dict = field(default_factory=dict)
     _loaded: bool = False
+    _write_failures: int = 0
+    _write_disabled: bool = False
+    _tail_checked: bool = False
 
     @property
     def path(self) -> Path:
@@ -170,6 +181,11 @@ class ResultStore:
             perf.incr("cache.stale")
         return None
 
+    def records(self) -> dict:
+        """fingerprint -> cell record, loading first (read-only view)."""
+        self.load()
+        return dict(self._records)
+
     # ------------------------------------------------------------------
     # append
 
@@ -177,22 +193,47 @@ class ResultStore:
         """Durably append one cell record under *fingerprint*.
 
         Safe under concurrent writers (single O_APPEND write + CRC);
-        duplicate fingerprints resolve last-wins on load.
+        duplicate fingerprints resolve last-wins on load.  A torn tail
+        left by a killed writer is healed by prepending a newline, like
+        the journal.  Persistent write failure (disk full, I/O errors)
+        disables further writes for this run with one stderr warning —
+        lookups keep working, the campaign is never worse than cold.
         """
-        if not fingerprint:
+        if not fingerprint or self._write_disabled:
             return
         path = self.path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        data = encode_record(
-            {"fingerprint": fingerprint, "cell": record},
-            version=CACHE_VERSION,
-        )
-        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+            maybe_inject("store")
+            data = encode_record(
+                {"fingerprint": fingerprint, "cell": record},
+                version=CACHE_VERSION,
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            chaos.write_point("store", path, data)
+            fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                if not self._tail_checked:
+                    self._tail_checked = True
+                    if torn_tail(fd):
+                        data = b"\n" + data
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError as error:
+            self._write_failures += 1
+            perf.incr("store.write_errors")
+            if self._write_failures >= MAX_WRITE_FAILURES:
+                self._write_disabled = True
+                perf.incr("io.degraded")
+                self.stats.warning = (
+                    f"result store writes disabled after "
+                    f"{self._write_failures} consecutive failures "
+                    f"({error}); continuing in-memory"
+                )
+                print(f"warning: {self.stats.warning}", file=sys.stderr)
+            return
+        self._write_failures = 0
         self.stats.stored += 1
         perf.incr("cache.stored")
         if self._loaded:

@@ -35,6 +35,16 @@ Failure semantics, composing with the PR-2 robustness layer:
   as its ``wait`` timeout, terminating workers that outlive it (a hung
   worker cannot outlive the budget).  Expiry stops the campaign
   cleanly with ``budget_exhausted`` set; a journal makes it resumable.
+* **Per-cell supervision** (:mod:`repro.robustness.supervise`): each
+  worker announces the cell it is about to run with a ``cell_start``
+  heartbeat.  When a cell outlives the effective ``--cell-timeout``
+  (explicit flag, or a quarter of the deadline), the parent SIGKILLs
+  the worker, charges that one cell a ``BudgetExhausted`` quarantine
+  entry, re-queues the rest of the shard, and respawns under capped
+  exponential backoff — a hung cell costs ``--cell-timeout``, not the
+  whole campaign deadline.  A worker killed by ``SIGXCPU``
+  (``--worker-cpu-seconds``) is classified ``WorkerResourceExceeded``
+  rather than a generic ``WorkerCrash``.
 * **Checkpointing**: workers append their own records to the journal
   (appends are single-``write`` and checksummed, safe under concurrent
   writers); the parent journals only the ``WorkerCrash`` cells it
@@ -54,17 +64,28 @@ Failure semantics, composing with the PR-2 robustness layer:
 
 from __future__ import annotations
 
+import errno
 import multiprocessing
 import os
+import signal
+import sys
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
 
+from repro import perf
 from repro.robustness import errors as error_taxonomy
 from repro.robustness.budgets import Deadline
 from repro.robustness.checkpoint import CampaignJournal
-from repro.robustness.errors import CampaignError, WorkerCrash
+from repro.robustness.errors import (
+    BudgetExhausted,
+    CampaignError,
+    WorkerCrash,
+    WorkerResourceExceeded,
+)
 from repro.robustness.quarantine import QuarantineEntry
+from repro.robustness.supervise import RespawnBackoff, effective_cell_timeout
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -74,6 +95,50 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+#: Errnos a dying worker's pipe is expected to produce; anything else
+#: on a drain/close path is still contained but counted and warned
+#: about (``pool.unexpected_io_errors``) instead of silently swallowed.
+EXPECTED_PIPE_ERRNOS = frozenset(
+    {errno.EPIPE, errno.ECONNRESET, errno.ESHUTDOWN}
+)
+
+_PIPE_ERRORS = {"count": 0, "warned": False}
+
+
+def unexpected_io_errors() -> int:
+    """Unexpected pipe errors swallowed since the current run started."""
+    return _PIPE_ERRORS["count"]
+
+
+def _reset_pipe_errors() -> None:
+    _PIPE_ERRORS["count"] = 0
+    _PIPE_ERRORS["warned"] = False
+
+
+def _note_pipe_error(error: BaseException, where: str) -> None:
+    """Account for an error swallowed on a worker-pipe path.
+
+    ``BrokenPipeError``/``ConnectionResetError``/``EOFError`` (and raw
+    ``OSError`` with the matching errnos) are the modelled death throes
+    of a worker pipe.  Anything else is unexpected: count it, warn once
+    per run, and keep containing it — a bad pipe must never be worth
+    more than the shard it interrupts.
+    """
+    if isinstance(error, (BrokenPipeError, ConnectionResetError, EOFError)):
+        return
+    if isinstance(error, OSError) and error.errno in EXPECTED_PIPE_ERRNOS:
+        return
+    _PIPE_ERRORS["count"] += 1
+    perf.incr("pool.unexpected_io_errors")
+    if not _PIPE_ERRORS["warned"]:
+        _PIPE_ERRORS["warned"] = True
+        print(
+            f"warning: unexpected I/O error on a worker pipe ({where}): "
+            f"{error!r}; containing (counted in pool.unexpected_io_errors)",
+            file=sys.stderr,
+        )
 
 
 @dataclass
@@ -93,6 +158,11 @@ class _Worker:
     cache_hits: int = 0
     cache_misses: int = 0
     perf: dict | None = None
+    #: Key of the cell announced by the last ``cell_start`` heartbeat,
+    #: and the parent-side monotonic instant it arrived; cleared when
+    #: the cell's record (or the shard's completion) is delivered.
+    cell_key: str | None = None
+    cell_started: float | None = None
 
 
 def _assign(entry: _Worker, pending: deque, fingerprints: dict) -> None:
@@ -108,10 +178,11 @@ def _assign(entry: _Worker, pending: deque, fingerprints: dict) -> None:
         entry.received = set()
         try:
             entry.conn.send(("shard", shard, shard_fingerprints))
-        except (BrokenPipeError, OSError):
+        except (EOFError, OSError) as error:
             # The worker died between pulling and receiving; the shard
             # was never started — put it back, the sentinel handler
             # cleans up the process.
+            _note_pipe_error(error, "assign")
             entry.current = None
             pending.appendleft(shard)
     else:
@@ -119,8 +190,8 @@ def _assign(entry: _Worker, pending: deque, fingerprints: dict) -> None:
         entry.current = None
         try:
             entry.conn.send(("stop",))
-        except (BrokenPipeError, OSError):
-            pass
+        except (EOFError, OSError) as error:
+            _note_pipe_error(error, "stop")
 
 
 def _handle_message(entry: _Worker, message, records: dict, pending: deque,
@@ -128,14 +199,22 @@ def _handle_message(entry: _Worker, message, records: dict, pending: deque,
     tag = message[0]
     if tag == "next":
         _assign(entry, pending, fingerprints)
+    elif tag == "cell_start":
+        entry.cell_key = message[1]
+        entry.cell_started = time.monotonic()
+        perf.incr("supervision.heartbeats")
     elif tag == "cell":
         _, key, record = message
         records[key] = record
         entry.received.add(key)
+        entry.cell_key = None
+        entry.cell_started = None
     elif tag == "shard_done":
         entry.cache_hits += message[1]
         entry.cache_misses += message[2]
         entry.current = None
+        entry.cell_key = None
+        entry.cell_started = None
     elif tag == "budget":
         entry.budget = message[1]
     elif tag == "fail":
@@ -153,14 +232,29 @@ def _drain(entry: _Worker, records: dict, pending: deque,
         while entry.conn.poll():
             _handle_message(entry, entry.conn.recv(), records, pending,
                             fingerprints)
-    except (EOFError, OSError):
-        pass
+    except (EOFError, OSError) as error:
+        _note_pipe_error(error, "drain")
 
 
-def _charge_worker_crash(entry: _Worker, rows, config, records: dict,
-                         journal, pending: deque) -> None:
-    """A worker died mid-shard: quarantine the in-flight cell, re-queue
-    the rest of its shard."""
+def _death_error(entry: _Worker, victim) -> CampaignError:
+    """Classify a worker death by its exit status."""
+    exitcode = entry.process.exitcode
+    sigxcpu = getattr(signal, "SIGXCPU", None)
+    what = f"while running {victim.instruction}/{victim.compiler}"
+    if sigxcpu is not None and exitcode == -sigxcpu:
+        return WorkerResourceExceeded(
+            f"worker killed by SIGXCPU (RLIMIT_CPU via "
+            f"--worker-cpu-seconds) {what}"
+        )
+    return WorkerCrash(
+        f"worker process exited with code {exitcode} {what}"
+    )
+
+
+def _charge_lost_cell(entry: _Worker, rows, config, records: dict,
+                      journal, pending: deque, error=None) -> None:
+    """A worker died (or was preempted) mid-shard: quarantine the
+    in-flight cell, re-queue the rest of its shard."""
     from repro.difftest.runner import (
         _backend_scope,
         _crashed_result,
@@ -178,10 +272,8 @@ def _charge_worker_crash(entry: _Worker, rows, config, records: dict,
         return
     row = rows[victim.row_index]
     spec = row.specs[victim.spec_index]
-    error = WorkerCrash(
-        f"worker process exited with code {entry.process.exitcode} "
-        f"while running {victim.instruction}/{victim.compiler}"
-    )
+    if error is None:
+        error = _death_error(entry, victim)
     quarantine_entry = QuarantineEntry.from_error(
         error,
         instruction=spec.name,
@@ -233,15 +325,21 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
     fingerprints = dict(fingerprints or {})
 
     deadline = Deadline(config.deadline_seconds)
+    cell_timeout = effective_cell_timeout(config)
+    backoff = RespawnBackoff()
+    _reset_pipe_errors()
     pending: deque = deque(plan_shards(rows, records))
     workers: dict = {}  # process sentinel -> _Worker
     context = multiprocessing.get_context("fork")
     budget_exhausted = False
     failure = None
     cache_hits = cache_misses = 0
+    preempted = respawned = 0
+    initial_fleet_done = False
     perf_snapshots: list = []
 
     def spawn() -> None:
+        nonlocal respawned
         parent_conn, child_conn = context.Pipe(duplex=True)
         process = context.Process(
             target=run_worker,
@@ -252,6 +350,78 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
         process.start()
         child_conn.close()
         workers[process.sentinel] = _Worker(process, parent_conn)
+        if initial_fleet_done:
+            respawned += 1
+            perf.incr("supervision.respawned")
+
+    def retire(entry: _Worker) -> None:
+        """Fold a finished/kill-ed worker's state into the run totals."""
+        nonlocal cache_hits, cache_misses, failure, budget_exhausted
+        _drain(entry, records, pending, fingerprints)
+        try:
+            entry.conn.close()
+        except OSError as error:
+            _note_pipe_error(error, "close")
+        cache_hits += entry.cache_hits
+        cache_misses += entry.cache_misses
+        if entry.perf is not None:
+            perf_snapshots.append(entry.perf)
+        if entry.failure is not None:
+            failure = entry.failure
+        elif entry.budget is not None:
+            budget_exhausted = True
+
+    def preempt_overdue(now: float) -> None:
+        """SIGKILL every worker whose announced cell outlived the
+        timeout; charge that one cell, re-queue the rest of the shard."""
+        nonlocal preempted
+        for sentinel, entry in list(workers.items()):
+            if entry.cell_started is None:
+                continue
+            elapsed = now - entry.cell_started
+            if elapsed <= cell_timeout:
+                continue
+            workers.pop(sentinel)
+            entry.process.kill()
+            entry.process.join()
+            # Records delivered before the hang are still on the pipe.
+            retire(entry)
+            if entry.done or entry.current is None:
+                continue  # finished in the race window; nothing lost
+            if entry.cell_key is None:
+                # The overdue cell's record arrived while we were
+                # killing: charge nothing, re-queue every cell the
+                # dead worker never delivered.
+                shard = entry.current
+                rest = tuple(cell for cell in shard.cells
+                             if cell.key not in entry.received)
+                if rest:
+                    pending.appendleft(type(shard)(shard.index, rest))
+                continue
+            error = BudgetExhausted(
+                f"cell exceeded the {cell_timeout:g}s --cell-timeout; "
+                f"worker preempted after {elapsed:.1f}s"
+            )
+            _charge_lost_cell(entry, rows, config, records, journal,
+                              pending, error=error)
+            preempted += 1
+            perf.incr("supervision.preempted")
+            backoff.record_failure(now)
+
+    def wait_timeout(now: float) -> float | None:
+        """Sleep until the next deadline/cell-timeout/backoff event."""
+        candidates = []
+        remaining = deadline.remaining()
+        if remaining is not None:
+            candidates.append(remaining)
+        if cell_timeout is not None:
+            for entry in workers.values():
+                if entry.cell_started is not None:
+                    due = entry.cell_started + cell_timeout - now
+                    candidates.append(max(due, 0.01))
+        if pending and len(workers) < jobs and not backoff.ready(now):
+            candidates.append(backoff.remaining(now))
+        return min(candidates) if candidates else None
 
     try:
         while pending or workers:
@@ -259,12 +429,23 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
                 budget_exhausted = True
                 break
             # Keep the pool at strength while work remains: initial
-            # spawn and replacements after crashes both land here.
-            while pending and len(workers) < jobs:
+            # spawn and replacements after crashes/preemptions both
+            # land here, the latter gated by the respawn backoff.
+            while (pending and len(workers) < jobs
+                   and backoff.ready(time.monotonic())):
                 spawn()
+            initial_fleet_done = True
+            now = time.monotonic()
+            timeout = wait_timeout(now)
             by_conn = {entry.conn: entry for entry in workers.values()}
             handles = list(by_conn) + list(workers)
-            ready = connection.wait(handles, timeout=deadline.remaining())
+            if handles:
+                ready = connection.wait(handles, timeout=timeout)
+            else:
+                # Whole fleet lost and respawn backed off: just sleep.
+                time.sleep(min(timeout or 0.05, 0.05))
+                ready = []
+            progressed = len(records)
             exited = []
             for handle in ready:
                 entry = by_conn.get(handle)
@@ -272,22 +453,19 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
                     _drain(entry, records, pending, fingerprints)
                 elif handle in workers:
                     exited.append(handle)
+            if len(records) > progressed:
+                backoff.record_success()
             for sentinel in exited:
                 entry = workers.pop(sentinel)
                 entry.process.join()
-                _drain(entry, records, pending, fingerprints)
-                entry.conn.close()
-                cache_hits += entry.cache_hits
-                cache_misses += entry.cache_misses
-                if entry.perf is not None:
-                    perf_snapshots.append(entry.perf)
-                if entry.failure is not None:
-                    failure = entry.failure
-                elif entry.budget is not None:
-                    budget_exhausted = True
-                elif not entry.done and entry.current is not None:
-                    _charge_worker_crash(entry, rows, config, records,
-                                         journal, pending)
+                retire(entry)
+                if (entry.failure is None and entry.budget is None
+                        and not entry.done and entry.current is not None):
+                    _charge_lost_cell(entry, rows, config, records,
+                                      journal, pending)
+                    backoff.record_failure(time.monotonic())
+            if cell_timeout is not None:
+                preempt_overdue(time.monotonic())
             if failure is not None or budget_exhausted:
                 break
     finally:
@@ -295,7 +473,10 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
             entry.process.terminate()
         for entry in workers.values():
             entry.process.join()
-            entry.conn.close()
+            try:
+                entry.conn.close()
+            except OSError as error:
+                _note_pipe_error(error, "close")
 
     if failure is not None:
         error_class, message = failure
@@ -310,6 +491,11 @@ def run_parallel_rows(config, rows, *, jobs: int, journal_path=None,
     result.workers = jobs
     result.cache_hits = cache_hits
     result.cache_misses = cache_misses
+    result.preempted_cells = preempted
+    result.respawned_workers = respawned
+    result.unexpected_io_errors = unexpected_io_errors()
+    result.journal_replay = journal.replay if (journal is not None
+                                               and resume) else None
     if getattr(config, "profile", False):
         from repro.perf import merge_snapshots
 

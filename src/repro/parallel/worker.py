@@ -30,6 +30,10 @@ under concurrent workers).
 Wire protocol, all plain picklable data.  Worker -> parent:
 
 * ``("next",)`` — the worker is idle and wants a shard;
+* ``("cell_start", key)`` — heartbeat: the worker is about to execute
+  this cell.  The parent's supervisor starts the per-cell wall clock
+  here; a cell whose record never follows within ``--cell-timeout``
+  gets its worker SIGKILLed (:mod:`repro.robustness.supervise`);
 * ``("cell", key, record)`` — one completed (or quarantined) cell.
   Since PR 5 the record's comparison entries also carry the triage
   candidate payload (path constraint signatures, exit pairs, operand
@@ -68,6 +72,7 @@ from repro.robustness.budgets import Deadline
 from repro.robustness.checkpoint import CampaignJournal
 from repro.robustness.errors import BudgetExhausted, CampaignError
 from repro.robustness.quarantine import QuarantineEntry
+from repro.robustness.supervise import apply_worker_rlimits
 
 
 def resolve_rows(plan: str, config):
@@ -115,6 +120,7 @@ def run_worker(conn, plan: str, config, remaining_seconds, journal_path,
 
 def _run_worker_activated(conn, plan: str, config, remaining_seconds,
                           journal_path, cache_dir) -> None:
+    apply_worker_rlimits(config)
     rows = resolve_rows(plan, config)
     deadline = Deadline(remaining_seconds)
     journal = CampaignJournal(journal_path) if journal_path else None
@@ -161,6 +167,7 @@ def _serve_shard(conn, rows, config, deadline, journal, store, shard,
         row = rows[cell.row_index]
         spec = row.specs[cell.spec_index]
         compiler_class = row.compiler_class
+        conn.send(("cell_start", cell.key))
         try:
             result, error = execute_cell(config, deadline, spec,
                                          compiler_class, cache)

@@ -15,12 +15,18 @@ the campaign engine that property:
   with reduced budgets, land in a quarantine report section;
 * :mod:`repro.robustness.checkpoint` — a JSONL journal of completed
   cells so an interrupted campaign resumes where it left off;
+* :mod:`repro.robustness.supervise` — per-cell wall-clock supervision
+  policy, respawn backoff and worker resource limits for the parallel
+  engine;
+* :mod:`repro.robustness.chaos` — the torn-run chaos harness:
+  SIGKILL a live campaign at seeded durable-write points and prove the
+  resumed report is byte-identical;
 * :mod:`repro.robustness.faults` — test-only fault injection proving
   the engine degrades gracefully.
 """
 
 from repro.robustness.budgets import Deadline
-from repro.robustness.checkpoint import CampaignJournal
+from repro.robustness.checkpoint import CampaignJournal, JournalReplay
 from repro.robustness.errors import (
     BudgetExhausted,
     CampaignError,
@@ -29,6 +35,8 @@ from repro.robustness.errors import (
     HarnessCrash,
     SimulatorCrash,
     SolverCrash,
+    WorkerCrash,
+    WorkerResourceExceeded,
     classify_crash,
     guard,
     truncated_traceback,
@@ -45,10 +53,13 @@ __all__ = [
     "ExplorerCrash",
     "FaultPlan",
     "HarnessCrash",
+    "JournalReplay",
     "Quarantine",
     "QuarantineEntry",
     "SimulatorCrash",
     "SolverCrash",
+    "WorkerCrash",
+    "WorkerResourceExceeded",
     "classify_crash",
     "guard",
     "inject_faults",

@@ -17,18 +17,38 @@ workers append directly):
   every later well-formed record is still replayed;
 * duplicate keys resolve last-wins, so a cell re-run after a partial
   failure supersedes its earlier record.
+
+Replay health is not silent: :meth:`CampaignJournal.load` counts torn
+and foreign lines in :class:`JournalReplay` (surfaced in the campaign
+report's resilience section and ``repro cache --journal``), and a
+journal whose *writes* keep failing (disk full, I/O errors) disables
+itself after :data:`MAX_WRITE_FAILURES` consecutive errors with one
+stderr warning — the campaign finishes correctly in-memory, never
+worse than running journal-less.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
+
+from repro import perf
+from repro.robustness import chaos
+from repro.robustness.faults import maybe_inject
 
 #: Bumped when the record shape changes; mismatched journals are ignored
 #: rather than mis-replayed.
 JOURNAL_VERSION = 1
+
+#: Consecutive write failures after which a sink (journal or result
+#: store) disables itself for the rest of the run.  Transient errors
+#: below the threshold lose at most their own record; the counter
+#: resets on every successful write.
+MAX_WRITE_FAILURES = 3
 
 
 def cell_key(experiment: str, compiler: str, kind: str, instruction: str) -> str:
@@ -74,20 +94,44 @@ def encode_record(record: dict, version: int = JOURNAL_VERSION) -> bytes:
     return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
 
 
-def decode_record(line: str, version: int = JOURNAL_VERSION) -> dict | None:
-    """Parse and verify one journal line; None if torn/corrupt/foreign."""
+def _decode_line(line: str, version: int) -> tuple[dict | None, str]:
+    """(record, reason) for one journal line.
+
+    Reasons: ``"ok"`` — replayable; ``"torn"`` — undecodable (a torn
+    write or bit rot: unparseable JSON or a checksum mismatch);
+    ``"foreign"`` — intact but not ours (another format version).
+    """
     try:
         record = json.loads(line)
     except json.JSONDecodeError:
-        return None
+        return None, "torn"
     if not isinstance(record, dict):
-        return None
+        return None, "torn"
     crc = record.pop("crc", None)
     if crc != _checksum(json.dumps(record, sort_keys=True)):
-        return None
+        return None, "torn"
     if record.get("version") != version:
-        return None
+        return None, "foreign"
+    return record, "ok"
+
+
+def decode_record(line: str, version: int = JOURNAL_VERSION) -> dict | None:
+    """Parse and verify one journal line; None if torn/corrupt/foreign."""
+    record, _reason = _decode_line(line, version)
     return record
+
+
+@dataclass
+class JournalReplay:
+    """Accounting of one journal load — the replay-health report."""
+
+    #: Well-formed records replayed (after last-wins dedup collapses
+    #: duplicates, this can exceed the number of distinct keys).
+    records: int = 0
+    #: Undecodable lines skipped: torn writes, checksum mismatches.
+    torn_lines: int = 0
+    #: Decodable lines skipped as foreign: version mismatch or no key.
+    skipped_lines: int = 0
 
 
 class CampaignJournal:
@@ -95,6 +139,10 @@ class CampaignJournal:
 
     def __init__(self, path) -> None:
         self.path = Path(path)
+        self.replay = JournalReplay()
+        self.degraded = False
+        self._write_failures = 0
+        self._tail_checked = False
 
     # ------------------------------------------------------------------
 
@@ -104,7 +152,11 @@ class CampaignJournal:
         Malformed lines (torn writes, checksum mismatches) are skipped
         individually: with concurrent writers a bad line is not
         necessarily the last one.  Duplicate keys resolve last-wins.
+        What was skipped is counted in :attr:`replay` and the
+        ``journal.torn_lines`` / ``journal.skipped_lines`` perf
+        counters — replay health is reported, not silent.
         """
+        self.replay = JournalReplay()
         if not self.path.exists():
             return {}
         completed: dict = {}
@@ -113,12 +165,22 @@ class CampaignJournal:
                 line = line.strip()
                 if not line:
                     continue
-                record = decode_record(line)
+                record, reason = _decode_line(line, JOURNAL_VERSION)
                 if record is None:
+                    if reason == "torn":
+                        self.replay.torn_lines += 1
+                        perf.incr("journal.torn_lines")
+                    else:
+                        self.replay.skipped_lines += 1
+                        perf.incr("journal.skipped_lines")
                     continue
                 key = record.get("key")
-                if key:
-                    completed[key] = record
+                if not key:
+                    self.replay.skipped_lines += 1
+                    perf.incr("journal.skipped_lines")
+                    continue
+                completed[key] = record
+                self.replay.records += 1
         return completed
 
     def append(self, record: dict) -> None:
@@ -126,15 +188,56 @@ class CampaignJournal:
 
         The entire line goes out in a single ``write(2)`` on an
         ``O_APPEND`` descriptor, so concurrent appenders (parallel
-        workers) never tear each other's records.
+        workers) never tear each other's records.  If the file's last
+        line is unterminated — the tail a SIGKILL mid-write leaves
+        behind — the first append of this process prepends a newline so
+        the new record is never glued onto the torn fragment.
+
+        Write failures degrade instead of crashing the campaign: the
+        failed record is lost (it will simply re-run on resume), and
+        after :data:`MAX_WRITE_FAILURES` consecutive failures the
+        journal disables itself with one stderr warning.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = encode_record(record)
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
+        if self.degraded:
+            return
+        key = str(record.get("key", ""))
+        site = "triage" if key.startswith(TRIAGE_KEY_PREFIX) else "journal"
         try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+            maybe_inject(site)
+            data = encode_record(record)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            chaos.write_point(site, self.path, data)
+            fd = os.open(
+                self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                if not self._tail_checked:
+                    self._tail_checked = True
+                    if torn_tail(fd):
+                        data = b"\n" + data
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError as error:
+            self._write_failures += 1
+            perf.incr("journal.write_errors")
+            if self._write_failures >= MAX_WRITE_FAILURES:
+                self.degraded = True
+                perf.incr("io.degraded")
+                print(
+                    f"warning: campaign journal {self.path} disabled after "
+                    f"{self._write_failures} consecutive write failures "
+                    f"({error}); continuing without checkpointing",
+                    file=sys.stderr,
+                )
+            return
+        self._write_failures = 0
+
+
+def torn_tail(fd: int) -> bool:
+    """True if the file ends mid-line (no trailing newline)."""
+    size = os.fstat(fd).st_size
+    if size == 0:
+        return False
+    return os.pread(fd, 1, size - 1) != b"\n"

@@ -81,6 +81,17 @@ class WorkerCrash(CampaignError):
     stage = "worker"
 
 
+class WorkerResourceExceeded(CampaignError):
+    """A worker hit an operator-set resource limit: an allocation
+    failed under ``RLIMIT_AS`` (``--worker-memory-mb``, surfacing as
+    ``MemoryError``) or the kernel delivered ``SIGXCPU`` under
+    ``RLIMIT_CPU`` (``--worker-cpu-seconds``).  Kept distinct from
+    :class:`WorkerCrash` so quarantine reports separate "the cell needs
+    a bigger box" from "the cell found a genuine crash"."""
+
+    stage = "resources"
+
+
 class BudgetExhausted(CampaignError):
     """A wall-clock or fuel budget ran out.
 
@@ -104,6 +115,7 @@ _STAGE_CRASHES = {
     "solver": SolverCrash,
     "harness": HarnessCrash,
     "worker": WorkerCrash,
+    "resources": WorkerResourceExceeded,
 }
 
 
@@ -111,10 +123,16 @@ def classify_crash(error: BaseException, stage: str) -> CampaignError:
     """Wrap *error* into the CampaignError subclass for *stage*.
 
     Already-classified errors are returned unchanged — a SolverCrash
-    surfacing through the explorer stays a SolverCrash.
+    surfacing through the explorer stays a SolverCrash.  A
+    ``MemoryError`` is resource exhaustion regardless of the stage it
+    surfaced in: whatever allocation tripped first is incidental.
     """
     if isinstance(error, CampaignError):
         return error
+    if isinstance(error, MemoryError):
+        return WorkerResourceExceeded(
+            f"MemoryError: {error}", original=error
+        )
     crash_class = _STAGE_CRASHES.get(stage, HarnessCrash)
     return crash_class(f"{type(error).__name__}: {error}", original=error)
 

@@ -2,9 +2,10 @@
 
 The resilience engine is itself validated mutation-style: a
 :class:`FaultPlan` arms a failure at a chosen stage (``explore``,
-``solve``, ``compile``, ``simulate``, ``harness``) for matching cells,
-and the tests assert the campaign degrades gracefully — the cell is
-quarantined, every other cell is unaffected, and interrupted runs
+``solve``, ``compile``, ``simulate``, ``harness`` — or
+``journal``/``store``/``triage``, the durable-write sites) for matching
+cells, and the tests assert the campaign degrades gracefully — the cell
+is quarantined, every other cell is unaffected, and interrupted runs
 resume.  Production code paths call :func:`maybe_inject`, which is a
 no-op (one empty-list check) unless a test armed a plan via
 :func:`inject_faults`.
@@ -12,6 +13,7 @@ no-op (one empty-list check) unless a test armed a plan via
 
 from __future__ import annotations
 
+import errno
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -20,11 +22,16 @@ from repro.errors import InvalidMemoryAccess
 from repro.robustness.errors import BudgetExhausted
 
 #: Fault kinds: raise a generic exception, raise a raw memory fault,
-#: busy-wait until the deadline trips (a simulated hang), raise
-#: KeyboardInterrupt (a simulated ^C for checkpoint/resume tests), or
+#: busy-wait until the deadline trips (a simulated hang), burn CPU
+#: until RLIMIT_CPU or the deadline trips (``spin``), raise
+#: KeyboardInterrupt (a simulated ^C for checkpoint/resume tests),
 #: kill the hosting process outright (a simulated segfault; only
-#: meaningful inside a parallel worker — see repro.parallel).
-FAULT_KINDS = ("raise", "memory", "hang", "interrupt", "die")
+#: meaningful inside a parallel worker — see repro.parallel), raise
+#: MemoryError (``oom``, a simulated allocation failure under
+#: RLIMIT_AS), or raise OSError EIO/ENOSPC (``io_error``/``enospc``,
+#: armed at the journal/result-store write sites).
+FAULT_KINDS = ("raise", "memory", "hang", "spin", "interrupt", "die",
+               "oom", "io_error", "enospc")
 
 #: Exit status of a "die" fault, distinguishable from a normal exit.
 DIE_EXIT_CODE = 86
@@ -98,6 +105,30 @@ def _fire(plan: FaultPlan, deadline) -> None:
         import os
 
         os._exit(DIE_EXIT_CODE)
+    if plan.kind == "oom":
+        # A failed allocation, the in-process face of RLIMIT_AS: the
+        # interpreter raises MemoryError instead of being killed, and
+        # the taxonomy must classify it as resource exhaustion rather
+        # than a generic crash.
+        raise MemoryError(f"injected at {plan.stage}: {plan.message}")
+    if plan.kind == "io_error":
+        raise OSError(errno.EIO, f"injected at {plan.stage}: {plan.message}")
+    if plan.kind == "enospc":
+        raise OSError(errno.ENOSPC,
+                      f"injected at {plan.stage}: {plan.message}")
+    if plan.kind == "spin":
+        # Like "hang", but burning CPU instead of sleeping: under
+        # RLIMIT_CPU (--worker-cpu-seconds) the kernel delivers SIGXCPU
+        # long before the wall-clock deadline; without the rlimit the
+        # deadline still bounds it.
+        if deadline is None or deadline.remaining() is None:
+            raise BudgetExhausted(
+                f"injected spin at {plan.stage} with no deadline to bound it"
+            )
+        while not deadline.expired:
+            pass
+        deadline.check(f"injected spin at {plan.stage}", scope="cell")
+        raise BudgetExhausted(f"injected spin at {plan.stage}")
     if plan.kind == "hang":
         # A hang only terminates because a budget bounds it: burn the
         # clock until the deadline trips, then report exhaustion.  With

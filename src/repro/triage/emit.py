@@ -20,6 +20,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.robustness import chaos
+
 
 def _literal(value, indent: int = 0) -> str:
     """Deterministic Python literal rendering (sorted dict keys)."""
@@ -98,6 +100,7 @@ def emit_reproducer(cause, repro_dir, config) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     source = reproducer_source(cause, config)
     if not path.exists() or path.read_text(encoding="utf-8") != source:
+        chaos.write_point("triage", path, source.encode("utf-8"))
         path.write_text(source, encoding="utf-8")
     return path
 

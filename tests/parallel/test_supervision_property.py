@@ -1,0 +1,107 @@
+"""Property: one poisoned cell under -j N costs exactly that cell.
+
+Hypothesis drives the fault kind (hang / hard death / OOM) and the
+victim cell; in every sampled scenario the supervised pool must
+preempt or absorb the fault within twice ``--cell-timeout``, quarantine
+exactly the poisoned cell with the right classification, and leave
+sibling cells, the journal, and the result store untouched.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.difftest.runner import campaign_rows, run_campaign
+from repro.incremental.store import ResultStore
+from repro.robustness.checkpoint import CampaignJournal, cell_key
+from repro.robustness.faults import FaultPlan, inject_faults
+
+from tests.robustness.test_campaign_resilience import (
+    CONFIG,
+    cell_summaries,
+)
+
+CELL_TIMEOUT = 2.5
+SUPERVISED = replace(CONFIG, deadline_seconds=120.0,
+                     cell_timeout_seconds=CELL_TIMEOUT)
+
+#: fault kind -> quarantine classification the pool must produce.
+EXPECTED_ERROR_CLASS = {
+    "hang": "BudgetExhausted",
+    "die": "WorkerCrash",
+    "oom": "WorkerResourceExceeded",
+}
+
+#: Every byte-code cell of the plan is a candidate victim (the native
+#: row exercises the "simulate" stage through a different harness).
+VICTIMS = sorted(
+    (spec.name, row.compiler_class.name)
+    for row in campaign_rows(CONFIG)
+    for spec in row.specs
+    if spec.kind == "bytecode"
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_campaign(SUPERVISED, jobs=2)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    kind=st.sampled_from(sorted(EXPECTED_ERROR_CLASS)),
+    victim=st.sampled_from(VICTIMS),
+)
+def test_single_poisoned_cell_is_contained(baseline, kind, victim):
+    instruction, compiler = victim
+    plan = FaultPlan(stage="simulate", kind=kind, instruction=instruction,
+                     compiler=compiler)
+    with tempfile.TemporaryDirectory() as scratch:
+        journal = Path(scratch) / "run.jsonl"
+        cache_dir = Path(scratch) / "cache"
+        start = time.monotonic()
+        with inject_faults(plan):
+            reports = run_campaign(SUPERVISED, jobs=2,
+                                   journal_path=journal,
+                                   cache_dir=str(cache_dir))
+        elapsed = time.monotonic() - start
+
+        # Bounded: the fault costs at most 2 x --cell-timeout on top of
+        # the healthy cells' own (seconds-scale) runtime — never the
+        # 120 s campaign deadline.
+        assert elapsed < 30.0
+        assert not reports.budget_exhausted
+
+        # Exactly the poisoned cell is quarantined, rightly classified.
+        assert len(reports.quarantine) == 1
+        entry = reports.quarantine.entries[0]
+        assert (entry.instruction, entry.compiler) == victim
+        assert entry.error_class == EXPECTED_ERROR_CLASS[kind]
+
+        # Sibling cells match the fault-free baseline bit for bit.
+        faulted = cell_summaries(reports)
+        healthy = cell_summaries(baseline)
+        key = (compiler, instruction)
+        del faulted[key], healthy[key]
+        assert faulted == healthy
+
+        # The journal replays clean: no torn lines, and the poisoned
+        # cell's record is its quarantine, not a half-result.
+        loaded = CampaignJournal(journal)
+        completed = loaded.load()
+        assert loaded.replay.torn_lines == 0
+        assert loaded.replay.skipped_lines == 0
+        victim_key = cell_key("main", compiler, "bytecode", instruction)
+        assert completed[victim_key]["quarantined"] is not None
+
+        # The result store never serves the poisoned cell.
+        store = ResultStore(str(cache_dir))
+        assert store.stats.corrupt_lines == 0
+        cached_keys = {cell.get("key") for cell in store.records().values()}
+        assert victim_key not in cached_keys

@@ -124,6 +124,68 @@ class TestJournalDurability:
         assert loaded["main::c::bytecode::a"]["differing_paths"] == 2
 
 
+class TestTornTailHealing:
+    def test_append_after_torn_tail_starts_a_fresh_line(self, tmp_path):
+        """A SIGKILL mid-write leaves an unterminated tail; the next
+        process's first append must not glue its record onto it."""
+        journal = CampaignJournal(tmp_path / "torn.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        with journal.path.open("a") as handle:
+            handle.write('{"key": "main::c::bytecode::b", "trunc')
+
+        healer = CampaignJournal(journal.path)  # a fresh process's view
+        healer.append(record_for("main::c::bytecode::c"))
+
+        loaded = CampaignJournal(journal.path).load()
+        assert set(loaded) == {
+            "main::c::bytecode::a", "main::c::bytecode::c",
+        }
+        assert loaded["main::c::bytecode::c"]["differing_paths"] == 1
+
+    def test_clean_tail_gets_no_spurious_blank_line(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "clean.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        resumed = CampaignJournal(journal.path)
+        resumed.append(record_for("main::c::bytecode::b"))
+        text = journal.path.read_text()
+        assert "\n\n" not in text
+        assert len(CampaignJournal(journal.path).load()) == 2
+
+
+class TestReplayStats:
+    def test_clean_journal_counts_only_records(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "clean.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        journal.append(record_for("main::c::bytecode::b"))
+        journal.load()
+        assert journal.replay.records == 2
+        assert journal.replay.torn_lines == 0
+        assert journal.replay.skipped_lines == 0
+
+    def test_torn_and_foreign_lines_are_counted_apart(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "mixed.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        foreign = encode_record(record_for("main::c::bytecode::old"),
+                                version=0)
+        with journal.path.open("ab") as handle:
+            handle.write(foreign)                       # foreign: skipped
+            handle.write(b'{"key": "main::c::byteco')   # torn
+
+        journal.load()
+        assert journal.replay.records == 1
+        assert journal.replay.torn_lines == 1
+        assert journal.replay.skipped_lines == 1
+
+    def test_replay_resets_between_loads(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "reload.jsonl")
+        journal.append(record_for("main::c::bytecode::a"))
+        with journal.path.open("a") as handle:
+            handle.write("torn")
+        journal.load()
+        journal.load()
+        assert journal.replay.torn_lines == 1
+
+
 class TestRecordCodec:
     def test_round_trip(self):
         record = record_for("main::c::bytecode::a")

@@ -1,0 +1,284 @@
+"""Worker supervision: hung-cell preemption, resource limits, backoff.
+
+The acceptance property of PR 10's tentpole: a single pathological
+cell under ``-j N`` — hung, dying, or allocating without bound — costs
+exactly its own quarantine entry and at most ``2 x --cell-timeout`` of
+wall clock, never the whole campaign deadline, and never a sibling
+cell's result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.difftest.report import format_resilience, table2
+from repro.difftest.runner import (
+    CampaignConfig,
+    bytecode_specs,
+    run_campaign,
+)
+from repro.jit.machine.x86 import X86Backend
+from repro.parallel.pool import _Worker, _death_error
+from repro.robustness.errors import classify_crash
+from repro.robustness.faults import DIE_EXIT_CODE, FaultPlan, inject_faults
+from repro.robustness.supervise import (
+    BACKOFF_CAP,
+    DEADLINE_FRACTION,
+    MIN_DERIVED_TIMEOUT,
+    RespawnBackoff,
+    apply_worker_rlimits,
+    effective_cell_timeout,
+)
+
+from tests.robustness.test_campaign_resilience import (
+    CONFIG,
+    TARGET_COMPILER,
+    TARGET_INSTRUCTION,
+    cell_summaries,
+)
+
+#: Generous wall-clock ceiling: preemption must beat this by an order
+#: of magnitude, the global deadline by two.
+CELL_TIMEOUT = 2.0
+DEADLINE = 120.0
+
+SUPERVISED = replace(CONFIG, deadline_seconds=DEADLINE,
+                     cell_timeout_seconds=CELL_TIMEOUT)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """A fault-free -j 2 run under the same supervised config."""
+    return run_campaign(SUPERVISED, jobs=2)
+
+
+class TestEffectiveCellTimeout:
+    def test_explicit_timeout_wins(self):
+        config = replace(CONFIG, deadline_seconds=100.0,
+                         cell_timeout_seconds=7.5)
+        assert effective_cell_timeout(config) == 7.5
+
+    def test_derived_from_deadline(self):
+        config = replace(CONFIG, deadline_seconds=100.0)
+        assert effective_cell_timeout(config) == 100.0 * DEADLINE_FRACTION
+
+    def test_derived_timeout_is_floored(self):
+        config = replace(CONFIG, deadline_seconds=0.5)
+        assert effective_cell_timeout(config) == MIN_DERIVED_TIMEOUT
+
+    def test_no_budgets_means_no_supervision(self):
+        assert effective_cell_timeout(CONFIG) is None
+
+
+class TestRespawnBackoff:
+    def test_first_loss_is_free_then_doubles_capped(self):
+        backoff = RespawnBackoff(base=0.1, cap=0.5)
+        assert backoff.current_delay() == 0.0
+        delays = []
+        for _ in range(5):
+            backoff.record_failure(now=100.0)
+            delays.append(backoff.current_delay())
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_success_resets(self):
+        backoff = RespawnBackoff(base=0.1, cap=2.0)
+        for _ in range(4):
+            backoff.record_failure(now=100.0)
+        backoff.record_success()
+        assert backoff.consecutive_failures == 0
+        assert backoff.ready(now=0.0)
+
+    def test_ready_and_remaining_track_the_clock(self):
+        backoff = RespawnBackoff(base=0.5, cap=2.0)
+        backoff.record_failure(now=10.0)
+        assert not backoff.ready(now=10.1)
+        assert backoff.remaining(now=10.1) == pytest.approx(0.4)
+        assert backoff.ready(now=10.5)
+        assert backoff.remaining(now=11.0) == 0.0
+
+    def test_default_cap_bounds_the_fork_rate(self):
+        backoff = RespawnBackoff()
+        for _ in range(64):
+            backoff.record_failure(now=0.0)
+        assert backoff.current_delay() == BACKOFF_CAP
+
+
+def _report_rlimits(conn, config):
+    import resource
+
+    applied = apply_worker_rlimits(config)
+    conn.send((applied,
+               resource.getrlimit(resource.RLIMIT_AS),
+               resource.getrlimit(resource.RLIMIT_CPU)))
+    conn.close()
+
+
+class TestWorkerRlimits:
+    def _child_limits(self, config):
+        context = multiprocessing.get_context("fork")
+        parent, child = context.Pipe()
+        process = context.Process(target=_report_rlimits,
+                                  args=(child, config))
+        process.start()
+        payload = parent.recv()
+        process.join()
+        assert process.exitcode == 0
+        return payload
+
+    def test_limits_apply_in_the_forked_child_only(self):
+        import resource
+
+        config = replace(CONFIG, worker_memory_mb=512,
+                         worker_cpu_seconds=30)
+        applied, as_limit, cpu_limit = self._child_limits(config)
+        assert applied == ["memory", "cpu"]
+        assert as_limit[0] == 512 * 1024 * 1024
+        # Soft SIGXCPU one second before the hard kill.
+        assert cpu_limit == (30, 31)
+        # The parent process is untouched.
+        assert resource.getrlimit(resource.RLIMIT_AS)[0] != 512 * 1024 * 1024
+
+    def test_unset_config_applies_nothing(self):
+        applied, _as_limit, _cpu_limit = self._child_limits(CONFIG)
+        assert applied == []
+
+
+class TestResourceClassification:
+    def test_memory_error_classifies_as_resource_exceeded(self):
+        error = classify_crash(MemoryError("boom"), stage="simulate")
+        assert error.error_class == "WorkerResourceExceeded"
+        assert error.stage == "resources"
+
+    def test_sigxcpu_death_classifies_as_resource_exceeded(self):
+        entry = _Worker(process=type("P", (), {
+            "exitcode": -signal.SIGXCPU})(), conn=None)
+        victim = type("Cell", (), {"instruction": "pushTrue",
+                                   "compiler": "SimpleStackCogit"})()
+        error = _death_error(entry, victim)
+        assert error.error_class == "WorkerResourceExceeded"
+        assert "SIGXCPU" in str(error)
+
+    def test_plain_death_is_still_a_worker_crash(self):
+        entry = _Worker(process=type("P", (), {
+            "exitcode": -signal.SIGKILL})(), conn=None)
+        victim = type("Cell", (), {"instruction": "pushTrue",
+                                   "compiler": "SimpleStackCogit"})()
+        error = _death_error(entry, victim)
+        assert error.error_class == "WorkerCrash"
+
+
+class TestHungCellPreemption:
+    def test_hang_is_preempted_within_twice_the_cell_timeout(
+        self, baseline
+    ):
+        """The headline acceptance criterion: a hung cell under -j 2 is
+        SIGKILLed at --cell-timeout, not ridden to the 120 s deadline."""
+        plan = FaultPlan(stage="simulate", kind="hang",
+                         instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER)
+        start = time.monotonic()
+        with inject_faults(plan):
+            reports = run_campaign(SUPERVISED, jobs=2)
+        elapsed = time.monotonic() - start
+
+        # Bounded by supervision: far below the campaign deadline.  The
+        # fleet's healthy cells run concurrently, so the whole campaign
+        # finishes within the preemption window plus sibling work.
+        assert elapsed < DEADLINE / 4
+        assert not reports.budget_exhausted
+
+        assert len(reports.quarantine) == 1
+        entry = reports.quarantine.entries[0]
+        assert entry.instruction == TARGET_INSTRUCTION
+        assert entry.compiler == TARGET_COMPILER
+        assert entry.error_class == "BudgetExhausted"
+        assert "--cell-timeout" in entry.message
+        assert reports.preempted_cells == 1
+        assert reports.respawned_workers >= 1
+
+        # The preemption fired within 2 x the per-cell budget.
+        import re
+
+        match = re.search(r"preempted after (\d+\.\d)s", entry.message)
+        assert match, entry.message
+        assert float(match.group(1)) <= 2 * CELL_TIMEOUT
+
+        # Sibling cells are untouched.
+        faulted = cell_summaries(reports)
+        healthy = cell_summaries(baseline)
+        key = (TARGET_COMPILER, TARGET_INSTRUCTION)
+        del faulted[key], healthy[key]
+        assert faulted == healthy
+
+    def test_preempted_campaign_resumes_clean(self, baseline, tmp_path):
+        """After a preemption, --resume re-runs nothing and keeps the
+        quarantined cell quarantined."""
+        journal = tmp_path / "preempt.jsonl"
+        plan = FaultPlan(stage="simulate", kind="hang",
+                         instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER)
+        with inject_faults(plan):
+            first = run_campaign(SUPERVISED, jobs=2, journal_path=journal)
+        assert first.preempted_cells == 1
+
+        resumed = run_campaign(SUPERVISED, jobs=2, journal_path=journal,
+                               resume=True)
+        assert len(resumed.quarantine) == 1
+        assert resumed.preempted_cells == 0
+        assert table2(resumed) == table2(first)
+
+    def test_resilience_section_names_the_preemption(self):
+        plan = FaultPlan(stage="simulate", kind="hang",
+                         instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER)
+        with inject_faults(plan):
+            reports = run_campaign(SUPERVISED, jobs=2)
+        text = format_resilience(reports)
+        assert "resilience: 1 cell(s) preempted by --cell-timeout" in text
+
+    def test_clean_run_prints_no_resilience_section(self, baseline):
+        assert format_resilience(baseline) == ""
+
+
+class TestWorkerDeath:
+    def test_die_fault_charges_one_worker_crash(self, baseline):
+        """os._exit mid-cell: process isolation absorbs it, the pool
+        respawns, and only the dying cell is charged."""
+        plan = FaultPlan(stage="simulate", kind="die",
+                         instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER)
+        with inject_faults(plan):
+            reports = run_campaign(SUPERVISED, jobs=2)
+        assert len(reports.quarantine) == 1
+        entry = reports.quarantine.entries[0]
+        assert entry.error_class == "WorkerCrash"
+        assert str(DIE_EXIT_CODE) in entry.message
+
+        faulted = cell_summaries(reports)
+        healthy = cell_summaries(baseline)
+        key = (TARGET_COMPILER, TARGET_INSTRUCTION)
+        del faulted[key], healthy[key]
+        assert faulted == healthy
+
+    def test_oom_fault_quarantines_as_resource_exceeded(self, baseline):
+        """MemoryError in-worker (the in-process face of RLIMIT_AS) is
+        resource exhaustion, not a generic crash."""
+        plan = FaultPlan(stage="simulate", kind="oom",
+                         instruction=TARGET_INSTRUCTION,
+                         compiler=TARGET_COMPILER)
+        with inject_faults(plan):
+            reports = run_campaign(SUPERVISED, jobs=2)
+        assert len(reports.quarantine) == 1
+        entry = reports.quarantine.entries[0]
+        assert entry.error_class == "WorkerResourceExceeded"
+
+        faulted = cell_summaries(reports)
+        healthy = cell_summaries(baseline)
+        key = (TARGET_COMPILER, TARGET_INSTRUCTION)
+        del faulted[key], healthy[key]
+        assert faulted == healthy

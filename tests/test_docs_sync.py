@@ -28,6 +28,13 @@ documented, every ``cache.*`` counter recorded in the source, every
 module path real, and the guide cross-linked from ``README.md``,
 CAMPAIGN.md, MUTATION.md, PERFORMANCE.md and ``DESIGN.md`` §18.
 
+``docs/RESILIENCE.md`` promises the same for the robustness layer:
+the supervision flags (``--cell-timeout``, ``--worker-memory-mb``,
+``--worker-cpu-seconds``) documented, every supervision / IO-health
+counter recorded in the source, every fault kind documented, every
+module path real, ``DESIGN.md`` §19 present, and the CI
+``chaos-smoke`` job actually wired to the chaos harness.
+
 ``docs/INDEX.md`` is the architecture map: every ``docs/*.md`` guide
 and every ``src/repro/*`` package must appear in it.  Finally, a
 repo-wide sweep asserts that *no* guide (nor ``DESIGN.md`` /
@@ -412,6 +419,96 @@ def test_incremental_guide_is_cross_linked():
             f"{referrer.name} does not link to docs/INCREMENTAL.md"
         )
     assert "## 18." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# docs/RESILIENCE.md — supervision, degradation, chaos
+
+
+RESILIENCE = ROOT / "docs" / "RESILIENCE.md"
+
+
+def resilience_text() -> str:
+    return RESILIENCE.read_text(encoding="utf-8")
+
+
+def resilience_counters() -> list[str]:
+    """Counter names the resilience guide documents."""
+    return sorted(set(re.findall(
+        r"`((?:supervision|io|journal|store|pool)\.[a-z_]+)`",
+        resilience_text(),
+    )))
+
+
+def resilience_module_paths() -> list[str]:
+    """`src/...py` module paths the resilience guide mentions."""
+    return sorted(set(re.findall(r"`(src/[\w/]+\.py)`", resilience_text())))
+
+
+def test_resilience_guide_introspection_is_not_vacuous():
+    assert len(resilience_counters()) >= 6
+    assert "src/repro/robustness/supervise.py" in resilience_module_paths()
+    assert "src/repro/robustness/chaos.py" in resilience_module_paths()
+
+
+@pytest.mark.parametrize(
+    "flag", ["--cell-timeout", "--worker-memory-mb", "--worker-cpu-seconds"]
+)
+def test_supervision_flag_exists_and_is_documented(flag):
+    """The supervision flags are real CLI surface and the resilience
+    guide documents each (CAMPAIGN.md is covered by the flag sweep)."""
+    assert flag in campaign_flags()
+    assert f"`{flag}" in resilience_text()
+
+
+@pytest.mark.parametrize("name", resilience_counters())
+def test_resilience_counter_exists_in_source(name):
+    sources = (ROOT / "src" / "repro").rglob("*.py")
+    assert any(name in path.read_text(encoding="utf-8") for path in sources), (
+        f"{name} appears in docs/RESILIENCE.md but nowhere in src/repro"
+    )
+
+
+@pytest.mark.parametrize("path", resilience_module_paths())
+def test_resilience_module_path_exists(path):
+    assert (ROOT / path).exists(), (
+        f"docs/RESILIENCE.md mentions {path}, which does not exist"
+    )
+
+
+def fault_kinds() -> list[str]:
+    from repro.robustness.faults import FAULT_KINDS
+
+    return list(FAULT_KINDS)
+
+
+@pytest.mark.parametrize("kind", fault_kinds())
+def test_every_fault_kind_is_documented(kind):
+    assert f"`{kind}`" in resilience_text(), (
+        f"fault kind {kind} is not documented in docs/RESILIENCE.md"
+    )
+
+
+def test_resilience_guide_is_cross_linked():
+    """The guide is discoverable and the promised DESIGN.md §19
+    (supervision + chaos) exists."""
+    for referrer in (
+        ROOT / "README.md",
+        ROOT / "docs" / "CAMPAIGN.md",
+        ROOT / "docs" / "INCREMENTAL.md",
+    ):
+        assert "RESILIENCE.md" in referrer.read_text(encoding="utf-8"), (
+            f"{referrer.name} does not link to docs/RESILIENCE.md"
+        )
+    assert "## 19." in (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+def test_chaos_smoke_job_exists_in_ci():
+    """The chaos harness the guide promises CI runs is actually wired."""
+    ci = ROOT / ".github" / "workflows" / "ci.yml"
+    text = ci.read_text(encoding="utf-8")
+    assert "chaos-smoke" in text
+    assert "repro.robustness.chaos" in text
 
 
 # ----------------------------------------------------------------------
